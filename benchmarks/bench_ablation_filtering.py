@@ -1,0 +1,72 @@
+"""Ablation A1: where should communities be filtered?
+
+DESIGN.md calls out the ingress/egress cleaning distinction as the
+paper's actionable recommendation.  This ablation quantifies, in the
+controlled lab, the collector-visible message cost of each policy:
+
+* no filtering        → community-only (`nc`) updates propagate;
+* egress filtering    → `nn` duplicates still leak (except Junos);
+* ingress filtering   → spurious updates fully suppressed.
+"""
+
+from repro.reports import render_table
+from repro.simulator import run_experiment
+from repro.vendors import ALL_PROFILES, JUNOS
+
+SCENARIOS = (
+    ("exp2", "no filtering"),
+    ("exp3", "egress cleaning at X1"),
+    ("exp4", "ingress cleaning at X1"),
+)
+
+
+def run_sweep():
+    results = {}
+    for experiment, _label in SCENARIOS:
+        for vendor in ALL_PROFILES:
+            results[(experiment, vendor.name)] = run_experiment(
+                experiment, vendor
+            )
+    return results
+
+
+def test_bench_ablation_filtering(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for experiment, label in SCENARIOS:
+        for vendor in ALL_PROFILES:
+            result = results[(experiment, vendor.name)]
+            rows.append(
+                (
+                    label,
+                    vendor.name,
+                    len(
+                        [
+                            m
+                            for m in result.collector_messages
+                            if m.kind == "announce"
+                        ]
+                    ),
+                )
+            )
+    print()
+    print(
+        render_table(
+            ("filtering", "vendor", "collector msgs after link event"),
+            rows,
+            title="Ablation A1: community filtering placement",
+        )
+    )
+    for vendor in ALL_PROFILES:
+        unfiltered = len(
+            results[("exp2", vendor.name)].collector_messages
+        )
+        egress = len(results[("exp3", vendor.name)].collector_messages)
+        ingress = len(results[("exp4", vendor.name)].collector_messages)
+        # Ingress cleaning is strictly the quietest.
+        assert ingress == 0
+        assert unfiltered >= 1
+        if vendor is JUNOS:
+            assert egress == 0  # dedup absorbs the cleaned duplicate
+        else:
+            assert egress >= 1  # the leaked nn duplicate

@@ -1,0 +1,62 @@
+"""Ablation A2: vendor duplicate-suppression impact at internet scale.
+
+Runs the small synthetic internet twice — once with every router
+running a non-deduplicating stack (Cisco IOS) and once all-Junos — and
+compares total message volume and the `nn` share.  The paper's §3
+summary ("only Junos prevents duplicates") predicts the all-Junos
+internet produces fewer `nn` announcements.
+"""
+
+from repro.analysis import (
+    AnnouncementType,
+    classify_observations,
+    observations_from_collector,
+)
+from repro.reports import format_share, render_table
+from repro.vendors import CISCO_IOS, JUNOS
+from repro.workloads import InternetConfig, InternetModel
+
+
+def run_with_vendor(vendor):
+    config = InternetConfig.small(vendor_mix=((vendor, 1.0),))
+    day = InternetModel(config).run()
+    observations = []
+    for collector in day.collectors():
+        observations.extend(observations_from_collector(collector))
+    observations.sort(key=lambda obs: obs.timestamp)
+    return day, classify_observations(observations)
+
+
+def test_bench_ablation_vendor_dedup(benchmark):
+    def sweep():
+        return {
+            "all-Cisco": run_with_vendor(CISCO_IOS),
+            "all-Junos": run_with_vendor(JUNOS),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for label, (day, counts) in results.items():
+        rows.append(
+            (
+                label,
+                day.total_collected_messages(),
+                counts.counts[AnnouncementType.NN],
+                format_share(counts.share(AnnouncementType.NN)),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ("fleet", "collected msgs", "nn count", "nn share"),
+            rows,
+            title="Ablation A2: vendor duplicate suppression",
+        )
+    )
+    _, cisco_counts = results["all-Cisco"]
+    _, junos_counts = results["all-Junos"]
+    # Junos's Adj-RIB-Out comparison suppresses duplicates fleet-wide.
+    assert (
+        junos_counts.counts[AnnouncementType.NN]
+        < cisco_counts.counts[AnnouncementType.NN]
+    )

@@ -1,0 +1,55 @@
+"""Bench EXP1-EXP4: the §3 laboratory behavior matrix.
+
+Regenerates the paper's lab findings for every vendor and prints the
+observation matrix.  Paper ground truth:
+
+* Exp1 — update on X1–Y1 wire, nothing at collector (Junos: nothing).
+* Exp2 — community-only update reaches the collector on all vendors.
+* Exp3 — egress cleaning still leaks an `nn` duplicate (except Junos).
+* Exp4 — ingress cleaning fully suppresses the spurious update.
+"""
+
+from repro.reports import render_table
+from repro.simulator import run_all_experiments, run_experiment
+from repro.vendors import ALL_PROFILES, CISCO_IOS, JUNOS
+
+
+def test_bench_lab_experiment_matrix(benchmark):
+    results = benchmark.pedantic(
+        run_all_experiments, rounds=1, iterations=1
+    )
+    rows = [result.summary_row() for result in results]
+    print()
+    print(
+        render_table(
+            ("exp", "vendor", "Y1->X1", "collector", "behavior"),
+            rows,
+            title="EXP1-4: lab behavior matrix (paper §3)",
+        )
+    )
+    by_key = {
+        (result.experiment, result.vendor): result for result in results
+    }
+    # The paper's summary assertions, per vendor.
+    for vendor in ALL_PROFILES:
+        junos = vendor is JUNOS
+        exp1 = by_key[("exp1", vendor.name)]
+        assert exp1.update_sent_y1_to_x1 != junos
+        assert not exp1.update_reached_collector
+        exp2 = by_key[("exp2", vendor.name)]
+        assert exp2.update_reached_collector
+        assert exp2.collector_saw_community_change
+        exp3 = by_key[("exp3", vendor.name)]
+        assert exp3.update_reached_collector != junos
+        if not junos:
+            assert exp3.collector_saw_duplicate
+        exp4 = by_key[("exp4", vendor.name)]
+        assert not exp4.update_reached_collector
+
+
+def test_bench_single_lab_run_cisco(benchmark):
+    """Time one complete lab cycle (build + converge + flap)."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("exp2", CISCO_IOS), rounds=1, iterations=1
+    )
+    assert result.collector_saw_community_change

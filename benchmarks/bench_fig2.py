@@ -1,0 +1,53 @@
+"""Bench F2: daily announcements per type, 2010-2020 (Figure 2).
+
+Simulates one sampled day per year with the growth model and prints the
+per-type counts.  The paper's qualitative findings:
+
+* absolute daily counts grow substantially over the decade;
+* `pc` and `nn` are historically the most dominant types;
+* type *shares* stay relatively stable despite growth.
+"""
+
+from repro.analysis import AnnouncementType
+from repro.analysis.classify import TYPE_ORDER
+from repro.reports import render_stacked_counts
+
+
+def test_bench_fig2_longitudinal_types(benchmark, longitudinal_series):
+    series = benchmark(longitudinal_series.type_series)
+    labels = [snapshot.label for snapshot in longitudinal_series]
+    stacks = {
+        kind.value: [count for _, count in series[kind]]
+        for kind in TYPE_ORDER
+    }
+    print()
+    print(
+        render_stacked_counts(
+            labels,
+            stacks,
+            title="Figure 2: daily announcements per type (2010-2020)",
+        )
+    )
+    snapshots = longitudinal_series.snapshots
+    first, last = snapshots[0], snapshots[-1]
+    # Growth: the 2020 day carries several times the 2010 messages.
+    assert (
+        last.type_counts.classified_total
+        > 2 * first.type_counts.classified_total
+    )
+    # "Most notable are the types pc and nn [...] they are
+    # historically the most dominant of all types": pc and nn must
+    # both rank in the top three at the end of the decade.
+    last_shares = last.type_counts.shares()
+    top3 = sorted(last_shares, key=last_shares.get, reverse=True)[:3]
+    assert AnnouncementType.PC in top3
+    assert AnnouncementType.NN in top3
+    # Share stability: nc+nn stays within a band across the decade
+    # (the paper: "despite increased community usage, the share of all
+    # types is relatively stable").
+    no_path_shares = [
+        snap.type_counts.no_path_change_share()
+        for snap in snapshots
+        if snap.type_counts.classified_total > 100
+    ]
+    assert max(no_path_shares) - min(no_path_shares) < 0.45

@@ -1,0 +1,76 @@
+"""Bench F3: announcement types per BGP session for one beacon prefix
+(Figure 3: collector rrc00, prefix 84.205.64.0/24).
+
+Prints one row per session (sorted by announcement count, like the
+figure's x-axis) with the per-type break-down.  Paper findings:
+
+* sessions see very different announcement volumes for the same
+  beacon prefix;
+* each session shows its own mix of types.
+"""
+
+from repro.analysis import (
+    classify_observations,
+    observations_from_collector,
+)
+from repro.analysis.classify import TYPE_ORDER, UpdateClassifier
+from repro.reports import render_table
+
+
+def _per_session_counts(day):
+    collector = day.collector("rrc00")
+    beacon = day.beacon_prefixes[0]
+    by_session = {}
+    for observation in observations_from_collector(collector):
+        if observation.prefix != beacon:
+            continue
+        by_session.setdefault(observation.session, []).append(observation)
+    return {
+        session: classify_observations(stream)
+        for session, stream in by_session.items()
+    }
+
+
+def test_bench_fig3_types_per_session(benchmark, mar20_day):
+    per_session = benchmark.pedantic(
+        _per_session_counts, args=(mar20_day,), rounds=1, iterations=1
+    )
+    beacon = mar20_day.beacon_prefixes[0]
+    ordered = sorted(
+        per_session.items(),
+        key=lambda item: item[1].announcements_total,
+        reverse=True,
+    )
+    rows = []
+    for session, counts in ordered:
+        rows.append(
+            (
+                f"AS{session.peer_asn}",
+                counts.announcements_total,
+                *(counts.counts[kind] for kind in TYPE_ORDER),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ("session", "total", "pc", "pn", "nc", "nn", "xc", "xn"),
+            rows,
+            title=(
+                f"Figure 3: types per BGP session, beacon {beacon},"
+                " collector rrc00"
+            ),
+        )
+    )
+    assert len(ordered) >= 3, "beacon visible on too few sessions"
+    totals = [counts.announcements_total for _, counts in ordered]
+    # Sessions differ in volume...
+    assert max(totals) > min(totals)
+    # ...and in their type mix.
+    mixes = {
+        tuple(
+            round(counts.share(kind), 2) for kind in TYPE_ORDER
+        )
+        for _, counts in ordered
+        if counts.classified_total >= 10
+    }
+    assert len(mixes) > 1

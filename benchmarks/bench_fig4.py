@@ -1,0 +1,90 @@
+"""Bench F4: community exploration on a single stream (Figure 4).
+
+The paper plots the cumulative announcements for beacon prefix
+84.205.64.0/24 via AS path (20205 3356 174 12654): every announcement
+falls inside withdrawal phases, each phase opening with a `pc` and
+continuing with `nc` announcements whose communities encode different
+ingress locations ("community exploration").
+
+We select the beacon stream with the strongest nc activity at a
+non-cleaning peer and print its cumulative series plus the detected
+exploration bursts.
+"""
+
+from repro.analysis import (
+    AnnouncementType,
+    CommunityExplorationDetector,
+    group_into_streams,
+)
+from repro.analysis.exploration import stream_phase_activity
+from repro.beacons import BeaconSchedule, PhaseKind
+from repro.netbase.timebase import format_utc
+from repro.reports import render_table
+
+
+def _beacon_streams(day, observations):
+    beacons = set(day.beacon_prefixes)
+    return group_into_streams(
+        obs for obs in observations if obs.prefix in beacons
+    )
+
+
+def _pick_stream(streams, kind):
+    """The stream with the most announcements of *kind*."""
+    best_key, best_count = None, -1
+    for key, stream in streams.items():
+        counts = stream_phase_activity(stream).type_counts()
+        if counts[kind] > best_count:
+            best_key, best_count = key, counts[kind]
+    return best_key
+
+
+def test_bench_fig4_community_exploration(
+    benchmark, mar20_day, mar20_observations
+):
+    streams = _beacon_streams(mar20_day, mar20_observations)
+    key = _pick_stream(streams, AnnouncementType.NC)
+    assert key is not None
+    activity = benchmark.pedantic(
+        stream_phase_activity, args=(streams[key],), rounds=1, iterations=1
+    )
+    session, prefix = key
+    rows = [
+        (format_utc(when), kind.value)
+        for when, kind in activity.events
+    ]
+    print()
+    print(
+        render_table(
+            ("time", "type"),
+            rows[:40],
+            title=(
+                f"Figure 4: announcements over time, beacon {prefix},"
+                f" session AS{session.peer_asn} (nc = community"
+                " exploration)"
+            ),
+        )
+    )
+    counts = activity.type_counts()
+    assert counts[AnnouncementType.NC] >= 2, "no community exploration"
+    # The nc announcements concentrate in withdrawal phases, like the
+    # paper's "all announcements show up only during the withdrawal
+    # phases".
+    schedule = BeaconSchedule()
+    nc_events = [
+        when
+        for when, kind in activity.events
+        if kind == AnnouncementType.NC
+    ]
+    in_withdraw = sum(
+        1
+        for when in nc_events
+        if schedule.classify(when) == PhaseKind.WITHDRAW
+    )
+    assert in_withdraw / len(nc_events) > 0.5
+    # Exploration bursts with distinct community attributes exist.
+    events = CommunityExplorationDetector().detect({key: streams[key]})
+    assert any(
+        event.is_community_exploration and event.distinct_communities >= 2
+        for event in events
+    )

@@ -1,0 +1,50 @@
+"""Bench T1: the Table 1 dataset overview (*d_mar20*).
+
+Prints paper-vs-measured side by side.  Absolute magnitudes differ by
+the documented scale factor (the simulated internet is ~10^3 smaller);
+the structural relations the paper's table exhibits must hold:
+
+* IPv4 prefixes outnumber IPv6 prefixes,
+* most announcements carry communities (737M / 1008M ≈ 73%),
+* announcements vastly outnumber withdrawals,
+* sessions ≥ peers.
+"""
+
+from repro.analysis import build_table1
+from repro.reports import render_table
+
+#: The paper's Table 1 for reference output.
+PAPER_TABLE1 = {
+    "IPv4 prefixes": 1_071_150,
+    "IPv6 prefixes": 99_141,
+    "ASes": 68_911,
+    "Sessions": 1_504,
+    "Peers": 581,
+    "Announcements": 1_008_000_000,
+    "w/ communities": 737_000_000,
+    "uniq. 16 bits": 5_778,
+    "uniq. AS paths": 43_900_000,
+    "Withdrawals": 38_500_000,
+}
+
+
+def test_bench_table1(benchmark, mar20_observations):
+    table = benchmark(build_table1, mar20_observations)
+    rows = [
+        (label, f"{PAPER_TABLE1[label]:,}", value)
+        for label, value in table.as_rows()
+    ]
+    print()
+    print(
+        render_table(
+            ("metric", "paper (d_mar20)", "measured (simulated)"),
+            rows,
+            title="Table 1: dataset overview",
+        )
+    )
+    assert table.ipv4_prefixes > table.ipv6_prefixes > 0
+    assert table.announcements > table.withdrawals
+    assert table.with_communities / table.announcements > 0.5
+    assert table.sessions >= table.peers
+    assert table.unique_as_paths > 0
+    assert table.unique_16bit_communities > 0

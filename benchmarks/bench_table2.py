@@ -1,0 +1,74 @@
+"""Bench T2: announcement-type shares (Table 2).
+
+Prints the six type shares for the full feed and the beacon subset,
+paper-vs-measured.  The shape assertions encode the paper's findings:
+
+* `pc` is the largest type in both feeds;
+* `nc`+`nn` (no path change) are a large fraction (~half) of the full
+  feed — the paper's headline Finding 1;
+* the beacon subset skews toward `pc`/`pn` relative to the full feed;
+* prepending types stay ≈1%.
+"""
+
+from repro.analysis import AnnouncementType, build_table2
+from repro.reports import format_share, render_table
+
+#: Paper Table 2 shares (full feed, beacon subset).
+PAPER_TABLE2 = {
+    "pc": (0.337, 0.446),
+    "pn": (0.151, 0.299),
+    "nc": (0.245, 0.138),
+    "nn": (0.257, 0.112),
+    "xc": (0.003, 0.002),
+    "xn": (0.007, 0.003),
+}
+
+
+def test_bench_table2(benchmark, mar20_observations, beacon_prefixes):
+    table = benchmark(
+        build_table2, mar20_observations, beacon_prefixes
+    )
+    rows = []
+    for code, description, full, beacon in table.as_rows():
+        paper_full, paper_beacon = PAPER_TABLE2[code]
+        rows.append(
+            (
+                code,
+                description,
+                format_share(paper_full),
+                format_share(full),
+                format_share(paper_beacon),
+                format_share(beacon),
+            )
+        )
+    print()
+    print(
+        render_table(
+            (
+                "type",
+                "observed changes",
+                "paper d_mar20",
+                "measured",
+                "paper d_beacon",
+                "measured",
+            ),
+            rows,
+            title="Table 2: announcement types",
+        )
+    )
+    full = table.full
+    beacon = table.beacon
+    # pc wins in both feeds.
+    assert full.share(AnnouncementType.PC) == max(full.shares().values())
+    assert beacon.share(AnnouncementType.PC) == max(
+        beacon.shares().values()
+    )
+    # No-path-change mass is large in the full feed...
+    assert full.no_path_change_share() > 0.35
+    # ...and smaller in the controlled beacon subset.
+    assert beacon.no_path_change_share() < full.no_path_change_share()
+    # Prepending stays marginal.
+    prepend = full.share(AnnouncementType.XC) + full.share(
+        AnnouncementType.XN
+    )
+    assert prepend < 0.03

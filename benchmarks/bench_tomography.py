@@ -1,0 +1,64 @@
+"""Bench A4 (paper §7 future work): per-AS community-behavior inference.
+
+    "Using more sophisticated network tomography techniques, we plan to
+     classify per-AS community behavior, for instance those that tag,
+     filter, and ignore."
+
+We run the classifier over the mar20-like collector feed and score it
+against the synthetic internet's ground-truth practice assignment —
+something the paper could not do on real data, but which validates the
+inference approach it proposes.
+"""
+
+from repro.analysis import observations_from_collector
+from repro.analysis.tomography import (
+    CommunityBehaviorClassifier,
+    InferredBehavior,
+    score_against_ground_truth,
+)
+from repro.reports import format_share, render_table
+
+
+def test_bench_tomography(benchmark, mar20_day, mar20_observations):
+    def infer():
+        classifier = CommunityBehaviorClassifier(min_samples=40)
+        classifier.observe_all(mar20_observations)
+        return classifier.infer_all()
+
+    inferences = benchmark.pedantic(infer, rounds=1, iterations=1)
+    ground_truth = {
+        asn: practice.value
+        for asn, practice in mar20_day.practices.items()
+    }
+    scores = score_against_ground_truth(inferences, ground_truth)
+    rows = [
+        (
+            f"AS{inference.asn}",
+            inference.behavior.value,
+            ground_truth.get(inference.asn, "?"),
+            f"{inference.own_tag_ratio:.2f}",
+            f"{inference.upstream_survival_ratio:.2f}",
+            inference.sample_size,
+        )
+        for inference in inferences[:25]
+        if inference.behavior != InferredBehavior.UNKNOWN
+    ]
+    print()
+    print(
+        render_table(
+            ("AS", "inferred", "truth", "own-tag", "survival", "n"),
+            rows,
+            title=(
+                "A4: per-AS community behavior inference (top 25 by"
+                " evidence)"
+            ),
+        )
+    )
+    print(
+        "scores: "
+        + ", ".join(
+            f"{name}={value:.2f}" for name, value in sorted(scores.items())
+        )
+    )
+    assert scores["classified"] >= 10
+    assert scores["accuracy"] > 0.5, scores

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy simulations run once per session; benchmarks then time the
+analysis stages and print the paper-shaped artifacts (tables/series).
+The *d_mar20*-like day uses the calibrated default configuration from
+:class:`repro.workloads.InternetConfig`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import observations_from_collector
+from repro.workloads import (
+    GrowthModel,
+    InternetConfig,
+    InternetModel,
+    LongitudinalRunner,
+    sampled_days,
+)
+
+
+@pytest.fixture(scope="session")
+def mar20_day():
+    """One simulated 2020-03-15 at the calibrated default scale."""
+    return InternetModel(InternetConfig.mar20()).run()
+
+
+@pytest.fixture(scope="session")
+def mar20_observations(mar20_day):
+    """All observations across collectors, in arrival order."""
+    merged = []
+    for collector in mar20_day.collectors():
+        merged.extend(observations_from_collector(collector))
+    merged.sort(key=lambda obs: obs.timestamp)
+    return merged
+
+
+@pytest.fixture(scope="session")
+def beacon_prefixes(mar20_day):
+    """The day's beacon prefix set."""
+    return set(mar20_day.beacon_prefixes)
+
+
+@pytest.fixture(scope="session")
+def longitudinal_series():
+    """One sampled day per year, 2010-2020 (Figures 2 and 6)."""
+    runner = LongitudinalRunner(
+        growth=GrowthModel(), days=sampled_days(2010, 2020, per_year=1)
+    )
+    return runner.run()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §3 controlled lab experiments (Exp1-Exp4).
+
+Builds the Figure 1 topology (collector C1 — X1 — Y1 — {Y2,Y3} — Z1)
+with real vendor behavior profiles, disables the Y1-Y2 link, and
+reports what crosses the X1-Y1 wire and what reaches the collector —
+for every experiment and every router implementation the paper tested.
+
+Run:  python examples/lab_experiments.py
+"""
+
+from repro.reports import render_table
+from repro.simulator import run_all_experiments
+from repro.vendors import ALL_PROFILES
+
+DESCRIPTIONS = {
+    "exp1": "no communities (internal next-hop change only)",
+    "exp2": "Y2/Y3 geo-tag at ingress, nobody filters",
+    "exp3": "exp2 + X1 strips communities on EGRESS",
+    "exp4": "exp2 + X1 strips communities on INGRESS",
+}
+
+
+def main() -> None:
+    results = run_all_experiments(ALL_PROFILES)
+    rows = [result.summary_row() for result in results]
+    print(
+        render_table(
+            ("exp", "vendor", "Y1->X1?", "collector?", "behavior"),
+            rows,
+            title="Lab behavior matrix (paper §3, Figure 1 topology)",
+        )
+    )
+    print()
+    for experiment, description in DESCRIPTIONS.items():
+        print(f"{experiment}: {description}")
+    print()
+    print("Paper findings reproduced:")
+    print(" * Exp1: all vendors except Junos emit an update with an")
+    print("   unchanged AS path after an internal next-hop change;")
+    print("   it is absorbed at X1 and never reaches the collector.")
+    print(" * Exp2: a community change alone propagates all the way")
+    print("   to the collector, on every implementation.")
+    print(" * Exp3: egress cleaning still leaks an exact duplicate")
+    print("   (nn) to the collector — unless the router is Junos,")
+    print("   which compares against Adj-RIB-Out before sending.")
+    print(" * Exp4: ingress cleaning keeps the RIB clean, so the")
+    print("   spurious update is fully suppressed on all vendors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: build a tiny internet, flap a link, classify the fallout.
+
+This walks through the library's three layers in ~60 lines:
+
+1. the **simulator** — routers with real BGP pipelines and vendor
+   behavior, wired into a topology with a route collector;
+2. the **policy engine** — a transit AS that geo-tags routes at
+   ingress (the behavior the paper shows causes community-only
+   updates);
+3. the **analysis** layer — the paper's pc/pn/nc/nn/xc/xn classifier
+   over the collector's archive.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import build_table2, observations_from_collector
+from repro.netbase import Prefix
+from repro.policy import AddCommunity, PolicyChain, RoutingPolicy
+from repro.reports import format_share, render_table
+from repro.simulator import Network
+from repro.vendors import CISCO_IOS
+
+# --- 1. a four-AS chain: origin -> transit (two parallel links) ------
+network = Network()
+origin = network.add_router("origin", 65001, vendor=CISCO_IOS)
+transit = network.add_router("transit", 65002, vendor=CISCO_IOS)
+peer = network.add_router("peer", 65003, vendor=CISCO_IOS)
+collector = network.add_collector("rrc00")
+
+# Two parallel origin-transit links; the transit tags each ingress with
+# a different informational community (a "geo" tag).
+link_a = network.add_link("origin-transit-A")
+link_b = network.add_link("origin-transit-B")
+network.connect(
+    origin, transit,
+    policy_b=RoutingPolicy(
+        import_chain=PolicyChain((AddCommunity("65002:301"),))
+    ),
+    link=link_a,
+)
+network.connect(
+    origin, transit,
+    policy_b=RoutingPolicy(
+        import_chain=PolicyChain((AddCommunity("65002:302"),))
+    ),
+    link=link_b,
+)
+network.connect(transit, peer)
+network.connect(peer, collector)
+
+# --- 2. originate a prefix and converge ------------------------------
+prefix = Prefix("203.0.113.0/24")
+origin.originate(prefix)
+network.converge()
+print(f"converged; collector heard {collector.message_count()} message(s)")
+
+# --- 3. flap the preferred link a few times --------------------------
+for _ in range(3):
+    link_a.flap(network, down_for=60.0)
+    network.converge()
+
+# --- 4. classify what the collector saw ------------------------------
+observations = list(observations_from_collector(collector))
+table = build_table2(observations)
+rows = [
+    (code, description, format_share(share))
+    for code, description, share, _beacon in table.as_rows()
+]
+print()
+print(render_table(("type", "meaning", "share"), rows,
+                   title="announcement types at the collector"))
+print()
+print(
+    "note the nc announcements: the AS path never changed, only the\n"
+    "transit's ingress tag did — the paper's 'community exploration'."
+)

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel``
+package, so PEP 517 editable installs fail on ``bdist_wheel``.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to ``setup.py develop``.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — reproduction of "Keep your Communities Clean" (CoNEXT 2020).
+
+The library has three layers:
+
+* **substrates** — :mod:`repro.netbase` (prefixes, ASNs, time),
+  :mod:`repro.bgp` (messages, attributes, communities, wire codec),
+  :mod:`repro.mrt` (RFC 6396 archives), :mod:`repro.rib` (RIBs and the
+  decision process), :mod:`repro.policy` (import/export policy,
+  geo-tagging, filters), :mod:`repro.vendors` (implementation behavior
+  profiles);
+* **simulation** — :mod:`repro.simulator` (event-driven BGP networks,
+  route collectors, the paper's lab experiments),
+  :mod:`repro.beacons` (RIPE-style routing beacons),
+  :mod:`repro.workloads` (synthetic internet + 10-year growth model);
+* **analysis** — :mod:`repro.analysis` (the paper's §4 cleaning
+  pipeline, §5 announcement-type taxonomy, §6 community-exploration
+  and revealed-information analyses), :mod:`repro.reports` (rendering).
+
+Quick taste::
+
+    from repro.workloads import InternetConfig, InternetModel
+    from repro.analysis import observations_from_collector, build_table2
+
+    day = InternetModel(InternetConfig.small()).run()
+    obs = list(observations_from_collector(day.collector("rrc00")))
+    print(build_table2(obs).as_rows())
+"""
+
+from repro.netbase import ASN, Prefix
+from repro.bgp import (
+    ASPath,
+    Community,
+    CommunitySet,
+    LargeCommunity,
+    PathAttributes,
+    UpdateMessage,
+)
+from repro.analysis import (
+    AnnouncementType,
+    CleaningPipeline,
+    UpdateClassifier,
+    build_table1,
+    build_table2,
+    observations_from_collector,
+    observations_from_mrt,
+)
+from repro.simulator import Network, RouteCollector, Router
+from repro.vendors import BIRD, CISCO_IOS, JUNOS, VendorProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASN",
+    "Prefix",
+    "ASPath",
+    "Community",
+    "CommunitySet",
+    "LargeCommunity",
+    "PathAttributes",
+    "UpdateMessage",
+    "AnnouncementType",
+    "CleaningPipeline",
+    "UpdateClassifier",
+    "build_table1",
+    "build_table2",
+    "observations_from_collector",
+    "observations_from_mrt",
+    "Network",
+    "RouteCollector",
+    "Router",
+    "BIRD",
+    "CISCO_IOS",
+    "JUNOS",
+    "VendorProfile",
+    "__version__",
+]

@@ -1,0 +1,206 @@
+"""The §4 data-preparation pipeline.
+
+    "Using current and historical allocation information from the
+     regional registries, we remove BGP messages that contain an
+     unallocated ASN or prefix at the time of the message. [...] we add
+     the ASN of the route server to the AS path.  Finally, some BGP
+     collectors only record messages at the single second granularity.
+     When multiple messages arrive in the same second [...] we preserve
+     the message ordering and assume that each subsequent message
+     arrives 0.01ms after the last."
+
+The pipeline operates on ordered observation feeds and is pure: it
+yields new observations and a :class:`CleaningReport` of what it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Protocol
+
+from repro.analysis.observations import Observation
+from repro.netbase.asn import ASN
+from repro.netbase.prefix import Prefix
+
+#: The paper's disambiguation step: 0.01 ms.
+SAME_SECOND_STEP = 0.00001
+
+
+class AllocationOracle(Protocol):
+    """What the pipeline needs to know about registry history."""
+
+    def asn_allocated(self, asn: int, when: float) -> bool:
+        """Was *asn* allocated at time *when*?"""
+        ...
+
+    def prefix_allocated(self, prefix: Prefix, when: float) -> bool:
+        """Was *prefix* (or a covering block) allocated at *when*?"""
+        ...
+
+
+class AcceptEverything:
+    """Oracle that treats all resources as allocated (no registry)."""
+
+    def asn_allocated(self, asn: int, when: float) -> bool:
+        return True
+
+    def prefix_allocated(self, prefix: Prefix, when: float) -> bool:
+        return True
+
+
+@dataclass
+class CleaningReport:
+    """What the pipeline removed or repaired."""
+
+    input_observations: int = 0
+    output_observations: int = 0
+    dropped_unallocated_asn: int = 0
+    dropped_unallocated_prefix: int = 0
+    dropped_reserved_asn: int = 0
+    dropped_long_prefix: int = 0
+    repaired_route_server_paths: int = 0
+    disambiguated_timestamps: int = 0
+    route_server_peers: "set" = field(default_factory=set)
+
+    @property
+    def dropped_total(self) -> int:
+        """All removed observations."""
+        return (
+            self.dropped_unallocated_asn
+            + self.dropped_unallocated_prefix
+            + self.dropped_reserved_asn
+            + self.dropped_long_prefix
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"cleaned {self.input_observations} -> "
+            f"{self.output_observations} observations "
+            f"(dropped {self.dropped_total}, repaired "
+            f"{self.repaired_route_server_paths} route-server paths, "
+            f"disambiguated {self.disambiguated_timestamps} timestamps)"
+        )
+
+
+class CleaningPipeline:
+    """Configurable implementation of the §4 preparation steps."""
+
+    def __init__(
+        self,
+        *,
+        oracle: Optional[AllocationOracle] = None,
+        drop_reserved_asns: bool = True,
+        max_prefix_length_v4: Optional[int] = None,
+        repair_route_server_paths: bool = True,
+        disambiguate_same_second: bool = True,
+        same_second_step: float = SAME_SECOND_STEP,
+    ):
+        self._oracle = oracle or AcceptEverything()
+        self._drop_reserved = drop_reserved_asns
+        self._max_length_v4 = max_prefix_length_v4
+        self._repair_route_servers = repair_route_server_paths
+        self._disambiguate = disambiguate_same_second
+        self._step = same_second_step
+
+    def run(
+        self, observations: Iterable[Observation]
+    ) -> "tuple[List[Observation], CleaningReport]":
+        """Apply every enabled step; returns (cleaned, report)."""
+        report = CleaningReport()
+        cleaned = list(self._clean(observations, report))
+        if self._disambiguate:
+            cleaned = self._fix_timestamps(cleaned, report)
+        report.output_observations = len(cleaned)
+        return cleaned, report
+
+    # ------------------------------------------------------------------
+    # filtering + repair
+    # ------------------------------------------------------------------
+    def _clean(
+        self, observations: Iterable[Observation], report: CleaningReport
+    ) -> Iterator[Observation]:
+        for observation in observations:
+            report.input_observations += 1
+            result = self._clean_one(observation, report)
+            if result is not None:
+                yield result
+
+    def _clean_one(
+        self, observation: Observation, report: CleaningReport
+    ) -> Optional[Observation]:
+        when = observation.timestamp
+        if (
+            self._max_length_v4 is not None
+            and observation.prefix.version == 4
+            and observation.prefix.length > self._max_length_v4
+        ):
+            report.dropped_long_prefix += 1
+            return None
+        if not self._oracle.prefix_allocated(observation.prefix, when):
+            report.dropped_unallocated_prefix += 1
+            return None
+        path_asns = (
+            observation.as_path.asns()
+            if observation.as_path is not None
+            else ()
+        )
+        involved = set(path_asns)
+        involved.add(ASN(observation.session.peer_asn))
+        if self._drop_reserved and any(
+            asn.is_reserved or asn == 23456 for asn in involved
+        ):
+            report.dropped_reserved_asn += 1
+            return None
+        if any(
+            not self._oracle.asn_allocated(int(asn), when)
+            for asn in involved
+        ):
+            report.dropped_unallocated_asn += 1
+            return None
+        if (
+            self._repair_route_servers
+            and observation.is_announcement
+            and observation.as_path is not None
+            and not observation.as_path.is_empty()
+        ):
+            peer = ASN(observation.session.peer_asn)
+            if observation.as_path.first_asn != peer:
+                report.repaired_route_server_paths += 1
+                report.route_server_peers.add(observation.session)
+                return observation.with_as_path(
+                    observation.as_path.prepend(peer)
+                )
+        return observation
+
+    # ------------------------------------------------------------------
+    # timestamp disambiguation
+    # ------------------------------------------------------------------
+    def _fix_timestamps(
+        self, observations: "List[Observation]", report: CleaningReport
+    ) -> "List[Observation]":
+        """Spread same-second arrivals by the configured step.
+
+        The input order is preserved; only timestamps recorded at
+        whole-second granularity are touched.  Messages that already
+        carry sub-second precision are assumed disambiguated by the
+        collector.
+        """
+        fixed: List[Observation] = []
+        last_by_second: dict = {}
+        for observation in observations:
+            timestamp = observation.timestamp
+            if timestamp != int(timestamp):
+                fixed.append(observation)
+                continue
+            key = (observation.session.collector, int(timestamp))
+            previous = last_by_second.get(key)
+            if previous is None:
+                last_by_second[key] = timestamp
+                fixed.append(observation)
+                continue
+            adjusted = previous + self._step
+            last_by_second[key] = adjusted
+            report.disambiguated_timestamps += 1
+            fixed.append(observation.shifted(adjusted))
+        return fixed

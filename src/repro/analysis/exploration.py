@@ -1,0 +1,248 @@
+"""§6: community exploration and duplicate bursts around beacon phases.
+
+*Community exploration* is the paper's name for the phenomenon in
+Figure 4: during withdrawal-driven path exploration, a single AS path
+is re-announced repeatedly with *different communities* (typically the
+geo-tags of successive ingress points), producing runs of ``nc``
+announcements.  Figure 5 shows the corresponding ``nn`` runs when the
+peer cleans communities at egress but not ingress.
+
+This module labels observations with beacon phases, extracts the
+cumulative-sum series the figures plot, and detects exploration events
+(a path-change announcement followed by a run of ``nc``/``nn`` within a
+withdrawal phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.classify import (
+    AnnouncementType,
+    UpdateClassifier,
+)
+from repro.analysis.observations import Observation
+from repro.beacons.schedule import BeaconSchedule, PhaseKind
+
+
+@dataclass(frozen=True)
+class LabeledAnnouncement:
+    """An announcement with its type and beacon-phase label."""
+
+    observation: Observation
+    announcement_type: Optional[AnnouncementType]
+    phase: PhaseKind
+
+
+def label_phases(
+    observations: Iterable[Observation],
+    schedule: "BeaconSchedule | None" = None,
+) -> "List[LabeledAnnouncement]":
+    """Classify announcements and tag each with its beacon phase."""
+    schedule = schedule or BeaconSchedule()
+    classifier = UpdateClassifier()
+    labeled: List[LabeledAnnouncement] = []
+    for observation in observations:
+        announcement_type = classifier.observe(observation)
+        if observation.is_withdrawal:
+            continue
+        labeled.append(
+            LabeledAnnouncement(
+                observation,
+                announcement_type,
+                schedule.classify(observation.timestamp),
+            )
+        )
+    return labeled
+
+
+@dataclass
+class PhaseActivity:
+    """Per-phase announcement counts for one stream (Figures 4/5)."""
+
+    #: (timestamp, announcement type) in arrival order.
+    events: "List[Tuple[float, AnnouncementType]]" = field(
+        default_factory=list
+    )
+    withdrawals: "List[float]" = field(default_factory=list)
+
+    def cumulative_series(
+        self,
+    ) -> "Dict[AnnouncementType, List[Tuple[float, int]]]":
+        """Per-type cumulative sums over time — the figures' y-axes."""
+        series: Dict[AnnouncementType, List[Tuple[float, int]]] = {
+            kind: [] for kind in AnnouncementType
+        }
+        counts = {kind: 0 for kind in AnnouncementType}
+        for timestamp, kind in self.events:
+            counts[kind] += 1
+            series[kind].append((timestamp, counts[kind]))
+        return series
+
+    def type_counts(self) -> "Dict[AnnouncementType, int]":
+        """Total per type."""
+        counts = {kind: 0 for kind in AnnouncementType}
+        for _, kind in self.events:
+            counts[kind] += 1
+        return counts
+
+    @property
+    def total_announcements(self) -> int:
+        """All classified announcements on the stream."""
+        return len(self.events)
+
+
+def stream_phase_activity(
+    stream: "List[Observation]",
+) -> PhaseActivity:
+    """Build the Figure 4/5 series for one (session, prefix) stream."""
+    classifier = UpdateClassifier()
+    activity = PhaseActivity()
+    for observation in stream:
+        announcement_type = classifier.observe(observation)
+        if observation.is_withdrawal:
+            activity.withdrawals.append(observation.timestamp)
+        elif announcement_type is not None:
+            activity.events.append(
+                (observation.timestamp, announcement_type)
+            )
+    return activity
+
+
+@dataclass
+class ExplorationEvent:
+    """One detected exploration burst within a withdrawal phase."""
+
+    session: "tuple"
+    start: float
+    end: float
+    #: Type of the announcement opening the burst.  Usually ``pc``/
+    #: ``pn`` (a path-exploration step), but a burst may reopen with a
+    #: spurious ``nc``/``nn`` when the explored path equals the
+    #: pre-withdrawal one.
+    opener: AnnouncementType
+    #: Count of follow-up spurious announcements (nc or nn).
+    spurious_count: int
+    #: Distinct community attributes observed during the burst.
+    distinct_communities: int
+
+    @property
+    def is_community_exploration(self) -> bool:
+        """nc-dominated burst (Figure 4 pattern)."""
+        return self.opener in (AnnouncementType.PC, AnnouncementType.NC)
+
+    @property
+    def is_duplicate_burst(self) -> bool:
+        """nn-dominated burst (Figure 5 pattern)."""
+        return self.opener in (AnnouncementType.PN, AnnouncementType.NN)
+
+
+class CommunityExplorationDetector:
+    """Finds exploration bursts in per-stream observation lists.
+
+    A burst is opened by a path-changing announcement (``pc``/``pn``)
+    inside a withdrawal-phase window and extended by consecutive
+    ``nc``/``nn`` announcements within *burst_gap* seconds of the
+    previous one.  Bursts need at least *min_spurious* follow-ups to be
+    reported.
+    """
+
+    def __init__(
+        self,
+        *,
+        schedule: "BeaconSchedule | None" = None,
+        burst_gap: float = 300.0,
+        min_spurious: int = 1,
+    ):
+        self._schedule = schedule or BeaconSchedule()
+        self._burst_gap = burst_gap
+        self._min_spurious = min_spurious
+
+    def detect(
+        self, streams: "Dict[tuple, List[Observation]]"
+    ) -> "List[ExplorationEvent]":
+        """Run detection over grouped streams."""
+        events: List[ExplorationEvent] = []
+        for key, stream in streams.items():
+            events.extend(self._detect_stream(key, stream))
+        events.sort(key=lambda event: event.start)
+        return events
+
+    def _detect_stream(
+        self, key: tuple, stream: "List[Observation]"
+    ) -> "List[ExplorationEvent]":
+        classifier = UpdateClassifier()
+        events: List[ExplorationEvent] = []
+        current: Optional[dict] = None
+        for observation in stream:
+            announcement_type = classifier.observe(observation)
+            if observation.is_withdrawal or announcement_type is None:
+                continue
+            in_withdraw_phase = (
+                self._schedule.classify(observation.timestamp)
+                == PhaseKind.WITHDRAW
+            )
+            if announcement_type in (
+                AnnouncementType.PC,
+                AnnouncementType.PN,
+            ):
+                self._finish(current, events)
+                current = None
+                if in_withdraw_phase:
+                    current = {
+                        "key": key,
+                        "start": observation.timestamp,
+                        "end": observation.timestamp,
+                        "opener": announcement_type,
+                        "spurious": 0,
+                        "communities": {observation.communities},
+                    }
+            elif announcement_type.is_spurious:
+                if current is not None and (
+                    observation.timestamp - current["end"]
+                    > self._burst_gap
+                ):
+                    self._finish(current, events)
+                    current = None
+                if current is None:
+                    # A spurious announcement inside a withdrawal phase
+                    # can reopen a burst: the explored path happens to
+                    # equal the pre-withdrawal one, so no pc/pn opener
+                    # precedes it.
+                    if in_withdraw_phase:
+                        current = {
+                            "key": key,
+                            "start": observation.timestamp,
+                            "end": observation.timestamp,
+                            "opener": announcement_type,
+                            "spurious": 0,
+                            "communities": {observation.communities},
+                        }
+                    continue
+                current["end"] = observation.timestamp
+                current["spurious"] += 1
+                current["communities"].add(observation.communities)
+            else:
+                self._finish(current, events)
+                current = None
+        self._finish(current, events)
+        return events
+
+    def _finish(
+        self, current: Optional[dict], events: "List[ExplorationEvent]"
+    ) -> None:
+        if current is None:
+            return
+        if current["spurious"] < self._min_spurious:
+            return
+        events.append(
+            ExplorationEvent(
+                session=current["key"],
+                start=current["start"],
+                end=current["end"],
+                opener=current["opener"],
+                spurious_count=current["spurious"],
+                distinct_communities=len(current["communities"]),
+            )
+        )

@@ -1,0 +1,277 @@
+"""Per-AS community-behavior inference ("network tomography").
+
+The paper's §7 sketches this as future work:
+
+    "from observing updates and lack of updates at multiple points in
+     the network, we can make rough guesses as to the way different
+     ASes handle communities.  Using more sophisticated network
+     tomography techniques, we plan to classify per-AS community
+     behavior, for instance those that tag, filter, and ignore."
+
+This module implements that classification over collector
+observations.  For every AS it aggregates evidence across all streams
+whose AS path traverses it:
+
+* **tagger** — communities administered by the AS appear on routes the
+  AS did not originate (its ASN occurs mid-path with its own tags
+  attached downstream);
+* **cleaner** — announcements arriving *through* the AS at the
+  collector systematically carry no communities although sibling
+  streams for the same prefixes (not via the AS) do;
+* **ignorer** — foreign communities survive passage through the AS.
+
+The synthetic internet knows each AS's ground-truth practice, so the
+integration tests score the inference like the paper would: precision
+over the inferable population.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.observations import Observation
+from repro.netbase.asn import ASN
+
+
+class InferredBehavior(enum.Enum):
+    """The paper's tag / filter / ignore trichotomy."""
+
+    TAGGER = "tagger"
+    CLEANER = "cleaner"
+    IGNORER = "ignorer"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ASEvidence:
+    """Aggregated observations for one AS."""
+
+    asn: int
+    #: Announcements whose path traverses this AS (not as origin).
+    transit_announcements: int = 0
+    #: ... of which carried at least one community of *any* AS.
+    with_any_communities: int = 0
+    #: ... of which carried a community administered by this AS.
+    with_own_communities: int = 0
+    #: ... of which carried a community of an AS *deeper* in the path
+    #: (i.e. a foreign tag that survived passage through this AS).
+    with_upstream_communities: int = 0
+    #: Announcements where this AS was the collector-adjacent peer.
+    peer_announcements: int = 0
+    peer_with_communities: int = 0
+
+    def merge(self, other: "ASEvidence") -> None:
+        """Accumulate *other*'s counts (same ASN)."""
+        self.transit_announcements += other.transit_announcements
+        self.with_any_communities += other.with_any_communities
+        self.with_own_communities += other.with_own_communities
+        self.with_upstream_communities += other.with_upstream_communities
+        self.peer_announcements += other.peer_announcements
+        self.peer_with_communities += other.peer_with_communities
+
+
+@dataclass
+class BehaviorInference:
+    """The verdict for one AS plus its supporting ratios."""
+
+    asn: int
+    behavior: InferredBehavior
+    own_tag_ratio: float
+    upstream_survival_ratio: float
+    sample_size: int
+
+    def __str__(self) -> str:
+        return (
+            f"AS{self.asn}: {self.behavior.value} "
+            f"(own={self.own_tag_ratio:.2f},"
+            f" survive={self.upstream_survival_ratio:.2f},"
+            f" n={self.sample_size})"
+        )
+
+
+class CommunityBehaviorClassifier:
+    """Infers tag/filter/ignore behavior per AS from a feed.
+
+    Thresholds are deliberately simple and documented: an AS is a
+    *tagger* when its own communities ride on ≥ ``tag_threshold`` of
+    the transit announcements through it; a *cleaner* when upstream
+    communities survive on ≤ ``clean_threshold`` of them; otherwise an
+    *ignorer*.  ASes with fewer than ``min_samples`` transit
+    announcements stay *unknown*.
+    """
+
+    def __init__(
+        self,
+        *,
+        tag_threshold: float = 0.30,
+        clean_threshold: float = 0.10,
+        min_samples: int = 20,
+    ):
+        if clean_threshold >= 1.0 or tag_threshold >= 1.0:
+            raise ValueError("thresholds are ratios in [0, 1)")
+        self._tag_threshold = tag_threshold
+        self._clean_threshold = clean_threshold
+        self._min_samples = min_samples
+        self._evidence: Dict[int, ASEvidence] = {}
+
+    # ------------------------------------------------------------------
+    # evidence collection
+    # ------------------------------------------------------------------
+    def observe(self, observation: Observation) -> None:
+        """Accumulate one announcement's evidence."""
+        if not observation.is_announcement or observation.as_path is None:
+            return
+        path = observation.as_path.distinct_ases()
+        if len(path) < 2:
+            return
+        communities = observation.communities
+        community_owners: Set[int] = {
+            community.asn for community in communities.classic
+        } | {
+            community.global_admin for community in communities.large
+        }
+        # Walk transit positions (everyone but the origin).
+        for position, asn in enumerate(path[:-1]):
+            evidence = self._evidence_for(int(asn))
+            evidence.transit_announcements += 1
+            if communities:
+                evidence.with_any_communities += 1
+            own = (int(asn) & 0xFFFF) in community_owners
+            if own:
+                evidence.with_own_communities += 1
+            # Communities owned by ASes strictly deeper in the path
+            # (closer to the origin) must have crossed this AS.
+            deeper = {
+                int(deeper_asn) & 0xFFFF
+                for deeper_asn in path[position + 1 :]
+            }
+            if community_owners & deeper:
+                evidence.with_upstream_communities += 1
+        # Collector-adjacent peer statistics.
+        peer_evidence = self._evidence_for(
+            int(observation.session.peer_asn)
+        )
+        peer_evidence.peer_announcements += 1
+        if communities:
+            peer_evidence.peer_with_communities += 1
+
+    def observe_all(self, observations: Iterable[Observation]) -> None:
+        """Accumulate a whole feed."""
+        for observation in observations:
+            self.observe(observation)
+
+    def _evidence_for(self, asn: int) -> ASEvidence:
+        evidence = self._evidence.get(asn)
+        if evidence is None:
+            evidence = ASEvidence(asn=asn)
+            self._evidence[asn] = evidence
+        return evidence
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def infer(self, asn: int) -> BehaviorInference:
+        """Classify one AS from the accumulated evidence."""
+        evidence = self._evidence.get(int(asn))
+        if (
+            evidence is None
+            or evidence.transit_announcements < self._min_samples
+        ):
+            samples = (
+                0 if evidence is None else evidence.transit_announcements
+            )
+            return BehaviorInference(
+                int(asn), InferredBehavior.UNKNOWN, 0.0, 0.0, samples
+            )
+        own_ratio = (
+            evidence.with_own_communities
+            / evidence.transit_announcements
+        )
+        # Survival is judged against announcements that *could* carry
+        # upstream tags: those with any community at all anywhere on
+        # sibling streams is unobservable per-AS, so we use the AS's
+        # own transit set as the denominator.
+        survival_ratio = (
+            evidence.with_upstream_communities
+            / evidence.transit_announcements
+        )
+        if own_ratio >= self._tag_threshold:
+            behavior = InferredBehavior.TAGGER
+        elif survival_ratio <= self._clean_threshold:
+            behavior = InferredBehavior.CLEANER
+        else:
+            behavior = InferredBehavior.IGNORER
+        return BehaviorInference(
+            int(asn),
+            behavior,
+            own_ratio,
+            survival_ratio,
+            evidence.transit_announcements,
+        )
+
+    def infer_all(self) -> "List[BehaviorInference]":
+        """Classify every AS with evidence, most-sampled first."""
+        inferences = [self.infer(asn) for asn in self._evidence]
+        inferences.sort(key=lambda item: -item.sample_size)
+        return inferences
+
+    def evidence_for(self, asn: int) -> Optional[ASEvidence]:
+        """Raw evidence for one AS (None when never observed)."""
+        return self._evidence.get(int(asn))
+
+
+def score_against_ground_truth(
+    inferences: "List[BehaviorInference]",
+    ground_truth: "Dict[int, str]",
+) -> "Dict[str, float]":
+    """Score inference quality against known practices.
+
+    *ground_truth* maps ASN → practice name (``tagger``,
+    ``cleaner_egress``, ``cleaner_ingress``, ``ignorer``), as recorded
+    by the synthetic internet.  Both cleaner variants count as
+    ``cleaner``.  Returns per-class precision plus overall accuracy
+    over the classified (non-unknown) population.
+    """
+    def truth_of(asn: int) -> Optional[InferredBehavior]:
+        practice = ground_truth.get(asn)
+        if practice is None:
+            return None
+        if practice == "tagger":
+            return InferredBehavior.TAGGER
+        if practice.startswith("cleaner"):
+            return InferredBehavior.CLEANER
+        return InferredBehavior.IGNORER
+
+    correct = defaultdict(int)
+    predicted = defaultdict(int)
+    total_correct = 0
+    total_classified = 0
+    for inference in inferences:
+        if inference.behavior == InferredBehavior.UNKNOWN:
+            continue
+        truth = truth_of(inference.asn)
+        if truth is None:
+            continue
+        total_classified += 1
+        predicted[inference.behavior] += 1
+        if inference.behavior == truth:
+            correct[inference.behavior] += 1
+            total_correct += 1
+    scores: Dict[str, float] = {}
+    for behavior in (
+        InferredBehavior.TAGGER,
+        InferredBehavior.CLEANER,
+        InferredBehavior.IGNORER,
+    ):
+        if predicted[behavior]:
+            scores[f"precision_{behavior.value}"] = (
+                correct[behavior] / predicted[behavior]
+            )
+    scores["accuracy"] = (
+        total_correct / total_classified if total_classified else 0.0
+    )
+    scores["classified"] = float(total_classified)
+    return scores

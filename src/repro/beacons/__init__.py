@@ -1,0 +1,30 @@
+"""RIPE-style routing beacons.
+
+Beacons are prefixes announced and withdrawn on a fixed schedule so
+that researchers get a controlled view of update propagation.  RIPE's
+beacons announce every 4 hours starting 00:00 UTC and withdraw every
+4 hours starting 02:00 UTC; one beacon prefix is associated with each
+collector (§4 of the paper).
+"""
+
+from repro.beacons.schedule import (
+    BeaconSchedule,
+    BeaconPhase,
+    PhaseKind,
+    RIPE_ANNOUNCE_START,
+    RIPE_WITHDRAW_START,
+    RIPE_PERIOD,
+    ripe_beacon_prefixes,
+)
+from repro.beacons.origin import BeaconOrigin
+
+__all__ = [
+    "BeaconSchedule",
+    "BeaconPhase",
+    "PhaseKind",
+    "RIPE_ANNOUNCE_START",
+    "RIPE_WITHDRAW_START",
+    "RIPE_PERIOD",
+    "ripe_beacon_prefixes",
+    "BeaconOrigin",
+]

@@ -1,0 +1,79 @@
+"""Beacon origin agent: drives a router's announce/withdraw cycle."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.beacons.schedule import BeaconSchedule, PhaseKind
+from repro.netbase.prefix import Prefix
+from repro.simulator.router import Router
+
+
+class BeaconOrigin:
+    """Schedules one beacon prefix's announce/withdraw events.
+
+    The agent mirrors RIPE's operational beacons: the prefix is
+    announced at each announce-phase start and withdrawn at each
+    withdraw-phase start.  Events are scheduled onto the network's
+    queue at simulation-build time.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        prefix: Prefix,
+        *,
+        schedule: "BeaconSchedule | None" = None,
+        anchor_prefix: "Prefix | None" = None,
+    ):
+        self.router = router
+        self.prefix = prefix
+        self.schedule = schedule or BeaconSchedule()
+        #: RIPE pairs each beacon with an *anchor* prefix that is
+        #: announced continuously from the same origin: a control
+        #: stream that separates beacon-induced dynamics from ambient
+        #: path churn.  Announced once at scheduling time when set.
+        self.anchor_prefix = anchor_prefix
+        self._scheduled_events: List = []
+
+    def schedule_day(self, day_start: float) -> int:
+        """Queue all announce/withdraw events for one UTC day.
+
+        Returns the number of events scheduled.  Phases whose start is
+        already in the past (relative to the simulation clock) are
+        skipped so the agent can be installed mid-day.
+        """
+        network = self.router._network
+        now = network.queue.now
+        count = 0
+        if (
+            self.anchor_prefix is not None
+            and self.anchor_prefix not in self.router.originated_prefixes()
+        ):
+            self.router.originate(self.anchor_prefix)
+        for phase in self.schedule.phases_for_day(day_start):
+            if phase.start < now:
+                continue
+            if phase.kind == PhaseKind.ANNOUNCE:
+                action = self._announce
+            else:
+                action = self._withdraw
+            event = network.queue.schedule_at(phase.start, action)
+            self._scheduled_events.append(event)
+            count += 1
+        return count
+
+    def cancel(self) -> None:
+        """Cancel all still-pending beacon events."""
+        for event in self._scheduled_events:
+            event.cancel()
+        self._scheduled_events.clear()
+
+    def _announce(self) -> None:
+        self.router.originate(self.prefix)
+
+    def _withdraw(self) -> None:
+        self.router.withdraw_origination(self.prefix)
+
+    def __repr__(self) -> str:
+        return f"BeaconOrigin({self.prefix} @ {self.router.name})"

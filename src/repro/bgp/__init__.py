@@ -1,0 +1,63 @@
+"""BGP protocol model: messages, path attributes, communities, wire codec.
+
+The model follows RFC 4271 (BGP-4), RFC 1997 (communities), RFC 8092
+(large communities), RFC 4760 (multiprotocol NLRI for IPv6) and
+RFC 6793 (4-byte AS numbers).  Everything the simulator emits can be
+serialized to the real wire format and back; the MRT layer
+(:mod:`repro.mrt`) reuses this codec for archive records.
+"""
+
+from repro.bgp.aspath import ASPath, PathSegment, SegmentType
+from repro.bgp.attributes import PathAttributes, Origin
+from repro.bgp.community import (
+    Community,
+    LargeCommunity,
+    CommunitySet,
+    WellKnownCommunity,
+    NO_EXPORT,
+    NO_ADVERTISE,
+    NO_EXPORT_SUBCONFED,
+    BLACKHOLE,
+)
+from repro.bgp.errors import BGPError, AttributeError_, WireFormatError
+from repro.bgp.fsm import SessionFSM, FSMState, FSMEvent, FSMTimers
+from repro.bgp.message import (
+    BGPMessage,
+    OpenMessage,
+    UpdateMessage,
+    KeepaliveMessage,
+    NotificationMessage,
+    RouteRefreshMessage,
+)
+from repro.bgp.wire import decode_message, encode_message
+
+__all__ = [
+    "ASPath",
+    "PathSegment",
+    "SegmentType",
+    "PathAttributes",
+    "Origin",
+    "Community",
+    "LargeCommunity",
+    "CommunitySet",
+    "WellKnownCommunity",
+    "NO_EXPORT",
+    "NO_ADVERTISE",
+    "NO_EXPORT_SUBCONFED",
+    "BLACKHOLE",
+    "BGPError",
+    "AttributeError_",
+    "WireFormatError",
+    "SessionFSM",
+    "FSMState",
+    "FSMEvent",
+    "FSMTimers",
+    "BGPMessage",
+    "OpenMessage",
+    "UpdateMessage",
+    "KeepaliveMessage",
+    "NotificationMessage",
+    "RouteRefreshMessage",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,277 @@
+"""AS_PATH attribute model.
+
+The announcement classifier of the paper (§5) distinguishes three
+relationships between consecutive AS paths on a stream:
+
+* changed (different AS sequence) — types ``pc`` / ``pn``;
+* changed *only by prepending* (the ordered set of distinct ASes is
+  equal but repetition counts differ) — types ``xc`` / ``xn``;
+* identical — types ``nc`` / ``nn``.
+
+:class:`ASPath` therefore exposes :meth:`distinct_ases`,
+:meth:`without_prepending` and :meth:`is_prepend_variant_of` alongside
+the usual wire encoding with AS_SEQUENCE / AS_SET segments (RFC 4271
+§4.3, 4-byte ASNs per RFC 6793).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Sequence
+
+from repro.bgp.errors import AttributeError_
+from repro.netbase.asn import ASN
+
+
+class SegmentType(enum.IntEnum):
+    """AS_PATH segment type codes."""
+
+    AS_SET = 1
+    AS_SEQUENCE = 2
+    AS_CONFED_SEQUENCE = 3
+    AS_CONFED_SET = 4
+
+
+class PathSegment:
+    """One AS_PATH segment: an ordered sequence or an unordered set."""
+
+    __slots__ = ("_kind", "_asns")
+
+    def __init__(self, kind: SegmentType, asns: Iterable[int]):
+        self._kind = SegmentType(kind)
+        self._asns = tuple(ASN(asn) for asn in asns)
+        if not self._asns:
+            raise AttributeError_("empty AS_PATH segment")
+        if len(self._asns) > 255:
+            raise AttributeError_("AS_PATH segment longer than 255 ASNs")
+
+    @property
+    def kind(self) -> SegmentType:
+        """Segment type (sequence or set)."""
+        return self._kind
+
+    @property
+    def asns(self) -> tuple:
+        """The member ASNs in wire order."""
+        return self._asns
+
+    @property
+    def is_set(self) -> bool:
+        """True for AS_SET / AS_CONFED_SET segments."""
+        return self._kind in (SegmentType.AS_SET, SegmentType.AS_CONFED_SET)
+
+    def path_length_contribution(self) -> int:
+        """RFC 4271 §9.1.2.2: a set counts as 1 hop, a sequence as N."""
+        return 1 if self.is_set else len(self._asns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathSegment):
+            return NotImplemented
+        if self._kind != other._kind:
+            return False
+        if self.is_set:
+            return frozenset(self._asns) == frozenset(other._asns)
+        return self._asns == other._asns
+
+    def __hash__(self) -> int:
+        members = frozenset(self._asns) if self.is_set else self._asns
+        return hash((self._kind, members))
+
+    def __repr__(self) -> str:
+        return f"PathSegment({self._kind.name}, {list(map(int, self._asns))})"
+
+    def __str__(self) -> str:
+        body = " ".join(str(asn) for asn in self._asns)
+        if self.is_set:
+            return "{" + body.replace(" ", ",") + "}"
+        return body
+
+
+class ASPath:
+    """A full AS_PATH: a tuple of segments.
+
+    >>> path = ASPath.from_string("20205 3356 174 12654")
+    >>> path.origin_asn
+    ASN(12654)
+    >>> path.prepend(ASN(20205)).is_prepend_variant_of(path)
+    True
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, segments: Iterable[PathSegment] = ()):
+        self._segments = tuple(segments)
+        for segment in self._segments:
+            if not isinstance(segment, PathSegment):
+                raise AttributeError_(f"not a PathSegment: {segment!r}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_asns(cls, asns: Sequence[int]) -> "ASPath":
+        """Build a single AS_SEQUENCE path from leftmost to origin."""
+        if not asns:
+            return cls()
+        return cls((PathSegment(SegmentType.AS_SEQUENCE, asns),))
+
+    @classmethod
+    def from_string(cls, text: str) -> "ASPath":
+        """Parse ``"64500 64501 {64502,64503}"`` notation."""
+        segments = []
+        pending: list = []
+        for token in text.split():
+            if token.startswith("{"):
+                if pending:
+                    segments.append(
+                        PathSegment(SegmentType.AS_SEQUENCE, pending)
+                    )
+                    pending = []
+                members = token.strip("{}").split(",")
+                segments.append(PathSegment(SegmentType.AS_SET, members))
+            else:
+                pending.append(token)
+        if pending:
+            segments.append(PathSegment(SegmentType.AS_SEQUENCE, pending))
+        return cls(segments)
+
+    @classmethod
+    def empty(cls) -> "ASPath":
+        """The empty path, as originated by the prefix owner in iBGP."""
+        return _EMPTY
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> tuple:
+        """The path segments, leftmost (most recent AS) first."""
+        return self._segments
+
+    def is_empty(self) -> bool:
+        """True when the path contains no segments."""
+        return not self._segments
+
+    def asns(self) -> tuple:
+        """All ASNs in wire order, flattened across segments."""
+        flat: list = []
+        for segment in self._segments:
+            flat.extend(segment.asns)
+        return tuple(flat)
+
+    @property
+    def first_asn(self) -> "ASN | None":
+        """The leftmost ASN — the neighbor that sent the route."""
+        asns = self.asns()
+        return asns[0] if asns else None
+
+    @property
+    def origin_asn(self) -> "ASN | None":
+        """The rightmost ASN — the originating AS."""
+        asns = self.asns()
+        return asns[-1] if asns else None
+
+    def length(self) -> int:
+        """Decision-process path length (AS_SET counts as one hop)."""
+        return sum(
+            segment.path_length_contribution() for segment in self._segments
+        )
+
+    def hop_count(self) -> int:
+        """Number of ASN entries including prepends."""
+        return len(self.asns())
+
+    def contains(self, asn: int) -> bool:
+        """True when *asn* appears anywhere in the path (loop check)."""
+        target = ASN(asn)
+        return any(target in segment.asns for segment in self._segments)
+
+    # ------------------------------------------------------------------
+    # derived paths
+    # ------------------------------------------------------------------
+    def prepend(self, asn: int, count: int = 1) -> "ASPath":
+        """Return a new path with *asn* prepended *count* times."""
+        if count < 1:
+            raise AttributeError_(f"prepend count must be >= 1, got {count}")
+        new_asns = (ASN(asn),) * count
+        if self._segments and self._segments[0].kind == SegmentType.AS_SEQUENCE:
+            head = PathSegment(
+                SegmentType.AS_SEQUENCE,
+                new_asns + self._segments[0].asns,
+            )
+            return ASPath((head,) + self._segments[1:])
+        head = PathSegment(SegmentType.AS_SEQUENCE, new_asns)
+        return ASPath((head,) + self._segments)
+
+    def distinct_ases(self) -> tuple:
+        """Ordered tuple of distinct ASNs (prepends collapsed).
+
+        This is the key used by the classifier to detect the
+        prepend-only change types ``xc``/``xn``: two paths whose
+        ``distinct_ases()`` are equal but whose raw ASN tuples differ
+        changed only by prepending.
+        """
+        seen: list = []
+        previous = None
+        for asn in self.asns():
+            if asn != previous:
+                seen.append(asn)
+            previous = asn
+        return tuple(seen)
+
+    def without_prepending(self) -> "ASPath":
+        """Return the path with consecutive duplicate ASNs collapsed."""
+        collapsed = self.distinct_ases()
+        if not collapsed:
+            return _EMPTY
+        # Preserve set segments; only sequences can legitimately prepend.
+        segments = []
+        for segment in self._segments:
+            if segment.is_set:
+                segments.append(segment)
+            else:
+                deduped: list = []
+                previous = None
+                for asn in segment.asns:
+                    if asn != previous:
+                        deduped.append(asn)
+                    previous = asn
+                segments.append(PathSegment(segment.kind, deduped))
+        return ASPath(segments)
+
+    def is_prepend_variant_of(self, other: "ASPath") -> bool:
+        """True when the two paths differ only in prepending."""
+        if self == other:
+            return False
+        return self.without_prepending() == other.without_prepending()
+
+    def has_prepending(self) -> bool:
+        """True when any AS appears consecutively more than once."""
+        asns = self.asns()
+        return any(a == b for a, b in zip(asns, asns[1:]))
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ASPath):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __hash__(self) -> int:
+        return hash(self._segments)
+
+    def __iter__(self) -> Iterator[PathSegment]:
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return self.hop_count()
+
+    def __repr__(self) -> str:
+        return f"ASPath('{self}')"
+
+    def __str__(self) -> str:
+        return " ".join(str(segment) for segment in self._segments)
+
+
+_EMPTY = ASPath()

@@ -1,0 +1,20 @@
+"""Exception hierarchy for the BGP protocol model."""
+
+
+class BGPError(Exception):
+    """Base class for all BGP model errors."""
+
+
+class AttributeError_(BGPError, ValueError):
+    """A path attribute is malformed or violates protocol constraints.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class WireFormatError(BGPError, ValueError):
+    """Bytes on the wire do not decode as a valid BGP message."""
+
+
+class MessageError(BGPError, ValueError):
+    """A BGP message violates structural constraints (e.g. size)."""

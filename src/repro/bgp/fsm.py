@@ -1,0 +1,305 @@
+"""The BGP finite state machine (RFC 4271 §8).
+
+The discrete-event simulator treats sessions as instantly established
+(the paper's lab experiments all start from a converged network), but a
+faithful reproduction of *session* dynamics — hold-timer expiry,
+collision handling, flap-induced state churn — needs the real FSM.
+:class:`SessionFSM` implements the six states and the event subset
+relevant to this codebase; :class:`repro.simulator.session.BGPSession`
+can be driven through it when session realism matters (see
+``tests/test_bgp_fsm.py`` for the scripted RFC sequences).
+
+States: Idle → Connect → Active ⇄ OpenSent → OpenConfirm → Established.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bgp.constants import DEFAULT_HOLD_TIME
+from repro.bgp.errors import BGPError
+
+
+class FSMState(enum.Enum):
+    """RFC 4271 §8.2.2 session states."""
+
+    IDLE = "Idle"
+    CONNECT = "Connect"
+    ACTIVE = "Active"
+    OPEN_SENT = "OpenSent"
+    OPEN_CONFIRM = "OpenConfirm"
+    ESTABLISHED = "Established"
+
+
+class FSMEvent(enum.Enum):
+    """The administrative / message / timer events we model."""
+
+    MANUAL_START = "ManualStart"
+    MANUAL_STOP = "ManualStop"
+    TCP_CONNECTION_CONFIRMED = "TcpConnectionConfirmed"
+    TCP_CONNECTION_FAILS = "TcpConnectionFails"
+    BGP_OPEN_RECEIVED = "BGPOpen"
+    KEEPALIVE_RECEIVED = "KeepAliveMsg"
+    UPDATE_RECEIVED = "UpdateMsg"
+    NOTIFICATION_RECEIVED = "NotifMsg"
+    HOLD_TIMER_EXPIRED = "HoldTimer_Expires"
+    KEEPALIVE_TIMER_EXPIRED = "KeepaliveTimer_Expires"
+    CONNECT_RETRY_EXPIRED = "ConnectRetryTimer_Expires"
+
+
+class FSMError(BGPError):
+    """An event arrived that is illegal in the current state."""
+
+
+@dataclass
+class FSMTransition:
+    """A record of one executed transition (for test assertions)."""
+
+    event: FSMEvent
+    from_state: FSMState
+    to_state: FSMState
+
+    def __str__(self) -> str:
+        return (
+            f"{self.from_state.value} --{self.event.value}--> "
+            f"{self.to_state.value}"
+        )
+
+
+@dataclass
+class FSMTimers:
+    """Timer durations (seconds) as negotiated/configured."""
+
+    hold_time: float = DEFAULT_HOLD_TIME
+    keepalive_interval: float = DEFAULT_HOLD_TIME / 3
+    connect_retry: float = 120.0
+
+    def negotiated(self, peer_hold_time: float) -> "FSMTimers":
+        """RFC 4271 §4.2: the session uses the smaller hold time."""
+        hold = min(self.hold_time, peer_hold_time)
+        return FSMTimers(
+            hold_time=hold,
+            keepalive_interval=hold / 3 if hold else 0.0,
+            connect_retry=self.connect_retry,
+        )
+
+
+class SessionFSM:
+    """One endpoint's BGP session state machine.
+
+    The FSM is deliberately side-effect free: callers provide callbacks
+    for the actions (send OPEN, send KEEPALIVE, drop TCP, flush routes)
+    and drive timer events from their own clock.  This keeps it usable
+    both from the discrete-event simulator and from unit tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        timers: "FSMTimers | None" = None,
+        on_send_open: Optional[Callable[[], None]] = None,
+        on_send_keepalive: Optional[Callable[[], None]] = None,
+        on_established: Optional[Callable[[], None]] = None,
+        on_session_drop: Optional[Callable[[str], None]] = None,
+    ):
+        self._state = FSMState.IDLE
+        self.timers = timers or FSMTimers()
+        self._on_send_open = on_send_open or (lambda: None)
+        self._on_send_keepalive = on_send_keepalive or (lambda: None)
+        self._on_established = on_established or (lambda: None)
+        self._on_session_drop = on_session_drop or (lambda reason: None)
+        self.transitions: List[FSMTransition] = []
+        #: Counts of messages implied by the FSM actions.
+        self.opens_sent = 0
+        self.keepalives_sent = 0
+        self.drops = 0
+
+    @property
+    def state(self) -> FSMState:
+        """The current session state."""
+        return self._state
+
+    @property
+    def is_established(self) -> bool:
+        """True in the Established state."""
+        return self._state == FSMState.ESTABLISHED
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+    def handle(self, event: FSMEvent) -> FSMState:
+        """Process one event; returns the new state.
+
+        Unknown event/state combinations follow RFC 4271's catch-all:
+        drop the session and return to Idle (rather than crashing) —
+        except events that are simply no-ops in their state.
+        """
+        handler = _TRANSITIONS.get((self._state, event))
+        if handler is None:
+            if event in _IGNORABLE.get(self._state, ()):
+                return self._state
+            # RFC catch-all: release resources, drop to Idle.
+            self._drop(f"unexpected {event.value} in {self._state.value}")
+            return self._state
+        handler(self)
+        return self._state
+
+    # ------------------------------------------------------------------
+    # actions (invoked by the transition table)
+    # ------------------------------------------------------------------
+    def _move(self, to_state: FSMState, event: FSMEvent) -> None:
+        self.transitions.append(
+            FSMTransition(event, self._state, to_state)
+        )
+        self._state = to_state
+
+    def _send_open(self) -> None:
+        self.opens_sent += 1
+        self._on_send_open()
+
+    def _send_keepalive(self) -> None:
+        self.keepalives_sent += 1
+        self._on_send_keepalive()
+
+    def _drop(self, reason: str) -> None:
+        if self._state != FSMState.IDLE:
+            self.transitions.append(
+                FSMTransition(
+                    FSMEvent.MANUAL_STOP
+                    if reason == "manual stop"
+                    else FSMEvent.NOTIFICATION_RECEIVED
+                    if "notification" in reason
+                    else FSMEvent.HOLD_TIMER_EXPIRED
+                    if "hold" in reason
+                    else FSMEvent.TCP_CONNECTION_FAILS,
+                    self._state,
+                    FSMState.IDLE,
+                )
+            )
+        self._state = FSMState.IDLE
+        self.drops += 1
+        self._on_session_drop(reason)
+
+    # transition implementations --------------------------------------
+    def _start(self) -> None:
+        self._move(FSMState.CONNECT, FSMEvent.MANUAL_START)
+
+    def _stop(self) -> None:
+        self._drop("manual stop")
+
+    def _tcp_confirmed_connect(self) -> None:
+        self._move(
+            FSMState.OPEN_SENT, FSMEvent.TCP_CONNECTION_CONFIRMED
+        )
+        self._send_open()
+
+    def _tcp_failed_connect(self) -> None:
+        self._move(FSMState.ACTIVE, FSMEvent.TCP_CONNECTION_FAILS)
+
+    def _retry_from_active(self) -> None:
+        self._move(FSMState.CONNECT, FSMEvent.CONNECT_RETRY_EXPIRED)
+
+    def _tcp_confirmed_active(self) -> None:
+        self._move(
+            FSMState.OPEN_SENT, FSMEvent.TCP_CONNECTION_CONFIRMED
+        )
+        self._send_open()
+
+    def _open_received_opensent(self) -> None:
+        self._move(FSMState.OPEN_CONFIRM, FSMEvent.BGP_OPEN_RECEIVED)
+        self._send_keepalive()
+
+    def _keepalive_received_openconfirm(self) -> None:
+        self._move(FSMState.ESTABLISHED, FSMEvent.KEEPALIVE_RECEIVED)
+        self._on_established()
+
+    def _keepalive_established(self) -> None:
+        # Hold timer restarts; state unchanged (recorded for tests).
+        self._move(FSMState.ESTABLISHED, FSMEvent.KEEPALIVE_RECEIVED)
+
+    def _update_established(self) -> None:
+        self._move(FSMState.ESTABLISHED, FSMEvent.UPDATE_RECEIVED)
+
+    def _keepalive_timer(self) -> None:
+        self._send_keepalive()
+
+    def _hold_expired(self) -> None:
+        self._drop("hold timer expired")
+
+    def _notification(self) -> None:
+        self._drop("notification received")
+
+    def _tcp_fails(self) -> None:
+        self._drop("tcp connection failed")
+
+
+_TRANSITIONS = {
+    (FSMState.IDLE, FSMEvent.MANUAL_START): SessionFSM._start,
+    (FSMState.CONNECT, FSMEvent.TCP_CONNECTION_CONFIRMED):
+        SessionFSM._tcp_confirmed_connect,
+    (FSMState.CONNECT, FSMEvent.TCP_CONNECTION_FAILS):
+        SessionFSM._tcp_failed_connect,
+    (FSMState.CONNECT, FSMEvent.MANUAL_STOP): SessionFSM._stop,
+    (FSMState.ACTIVE, FSMEvent.CONNECT_RETRY_EXPIRED):
+        SessionFSM._retry_from_active,
+    (FSMState.ACTIVE, FSMEvent.TCP_CONNECTION_CONFIRMED):
+        SessionFSM._tcp_confirmed_active,
+    (FSMState.ACTIVE, FSMEvent.MANUAL_STOP): SessionFSM._stop,
+    (FSMState.OPEN_SENT, FSMEvent.BGP_OPEN_RECEIVED):
+        SessionFSM._open_received_opensent,
+    (FSMState.OPEN_SENT, FSMEvent.HOLD_TIMER_EXPIRED):
+        SessionFSM._hold_expired,
+    (FSMState.OPEN_SENT, FSMEvent.TCP_CONNECTION_FAILS):
+        SessionFSM._tcp_fails,
+    (FSMState.OPEN_SENT, FSMEvent.MANUAL_STOP): SessionFSM._stop,
+    (FSMState.OPEN_CONFIRM, FSMEvent.KEEPALIVE_RECEIVED):
+        SessionFSM._keepalive_received_openconfirm,
+    (FSMState.OPEN_CONFIRM, FSMEvent.HOLD_TIMER_EXPIRED):
+        SessionFSM._hold_expired,
+    (FSMState.OPEN_CONFIRM, FSMEvent.NOTIFICATION_RECEIVED):
+        SessionFSM._notification,
+    (FSMState.OPEN_CONFIRM, FSMEvent.MANUAL_STOP): SessionFSM._stop,
+    (FSMState.ESTABLISHED, FSMEvent.KEEPALIVE_RECEIVED):
+        SessionFSM._keepalive_established,
+    (FSMState.ESTABLISHED, FSMEvent.UPDATE_RECEIVED):
+        SessionFSM._update_established,
+    (FSMState.ESTABLISHED, FSMEvent.KEEPALIVE_TIMER_EXPIRED):
+        SessionFSM._keepalive_timer,
+    (FSMState.ESTABLISHED, FSMEvent.HOLD_TIMER_EXPIRED):
+        SessionFSM._hold_expired,
+    (FSMState.ESTABLISHED, FSMEvent.NOTIFICATION_RECEIVED):
+        SessionFSM._notification,
+    (FSMState.ESTABLISHED, FSMEvent.TCP_CONNECTION_FAILS):
+        SessionFSM._tcp_fails,
+    (FSMState.ESTABLISHED, FSMEvent.MANUAL_STOP): SessionFSM._stop,
+}
+
+#: Events that are harmless no-ops per state (rather than FSM errors).
+_IGNORABLE = {
+    FSMState.IDLE: (
+        FSMEvent.MANUAL_STOP,
+        FSMEvent.TCP_CONNECTION_FAILS,
+        FSMEvent.CONNECT_RETRY_EXPIRED,
+        FSMEvent.HOLD_TIMER_EXPIRED,
+        FSMEvent.KEEPALIVE_TIMER_EXPIRED,
+        FSMEvent.NOTIFICATION_RECEIVED,
+    ),
+    FSMState.CONNECT: (FSMEvent.KEEPALIVE_TIMER_EXPIRED,),
+    FSMState.ACTIVE: (FSMEvent.KEEPALIVE_TIMER_EXPIRED,),
+    FSMState.OPEN_SENT: (FSMEvent.KEEPALIVE_TIMER_EXPIRED,),
+    FSMState.OPEN_CONFIRM: (FSMEvent.KEEPALIVE_TIMER_EXPIRED,),
+    FSMState.ESTABLISHED: (FSMEvent.MANUAL_START,),
+}
+
+
+def establish(fsm: SessionFSM) -> SessionFSM:
+    """Drive *fsm* through the happy path to Established (test helper)."""
+    fsm.handle(FSMEvent.MANUAL_START)
+    fsm.handle(FSMEvent.TCP_CONNECTION_CONFIRMED)
+    fsm.handle(FSMEvent.BGP_OPEN_RECEIVED)
+    fsm.handle(FSMEvent.KEEPALIVE_RECEIVED)
+    if not fsm.is_established:
+        raise FSMError(f"failed to establish: stuck in {fsm.state}")
+    return fsm

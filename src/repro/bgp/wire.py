@@ -1,0 +1,514 @@
+"""Binary wire codec for BGP messages (RFC 4271 + extensions).
+
+The codec is complete enough to round-trip every message the simulator
+produces, including IPv6 routes via MP_REACH_NLRI / MP_UNREACH_NLRI
+(RFC 4760), classic and large communities, and 4-byte AS paths
+(RFC 6793 — we always encode 4-octet ASNs, as modern speakers do once
+the capability is negotiated).
+
+The MRT layer wraps these encodings in archive records, so a synthetic
+"RouteViews dump" written by :mod:`repro.mrt` contains genuine BGP
+bytes.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import Iterator
+
+from repro.bgp.aspath import ASPath, PathSegment, SegmentType
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.bgp.constants import (
+    Afi,
+    AttrFlag,
+    AttrType,
+    BGP_VERSION,
+    CANONICAL_FLAGS,
+    HEADER_LENGTH,
+    MARKER,
+    MAX_MESSAGE_LENGTH,
+    MessageType,
+    OriginCode,
+    Safi,
+)
+from repro.bgp.errors import WireFormatError
+from repro.bgp.message import (
+    BGPMessage,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    RouteRefreshMessage,
+    UpdateMessage,
+)
+from repro.netbase.asn import ASN
+from repro.netbase.prefix import Prefix
+
+_CAP_MP = 1
+_CAP_FOUR_OCTET_ASN = 65
+_AS_TRANS = 23456
+
+
+# ----------------------------------------------------------------------
+# top-level encode / decode
+# ----------------------------------------------------------------------
+def encode_message(message: BGPMessage) -> bytes:
+    """Serialize any BGP message to its RFC 4271 wire form."""
+    if isinstance(message, OpenMessage):
+        body = _encode_open(message)
+        kind = MessageType.OPEN
+    elif isinstance(message, UpdateMessage):
+        body = _encode_update(message)
+        kind = MessageType.UPDATE
+    elif isinstance(message, KeepaliveMessage):
+        body = b""
+        kind = MessageType.KEEPALIVE
+    elif isinstance(message, NotificationMessage):
+        body = bytes([message.code, message.subcode]) + message.data
+        kind = MessageType.NOTIFICATION
+    elif isinstance(message, RouteRefreshMessage):
+        body = struct.pack("!HBB", message.afi, 0, message.safi)
+        kind = MessageType.ROUTE_REFRESH
+    else:
+        raise WireFormatError(f"cannot encode {type(message).__name__}")
+    total = HEADER_LENGTH + len(body)
+    if total > MAX_MESSAGE_LENGTH:
+        raise WireFormatError(f"message too large: {total} bytes")
+    return MARKER + struct.pack("!HB", total, kind) + body
+
+
+def decode_message(data: bytes) -> BGPMessage:
+    """Parse one wire-format BGP message (exact-length input)."""
+    message, consumed = decode_message_from(data)
+    if consumed != len(data):
+        raise WireFormatError(
+            f"trailing bytes after message: {len(data) - consumed}"
+        )
+    return message
+
+
+def decode_message_from(data: bytes) -> "tuple[BGPMessage, int]":
+    """Parse one message from the front of *data*; return (msg, consumed)."""
+    if len(data) < HEADER_LENGTH:
+        raise WireFormatError("truncated BGP header")
+    marker, length, kind = data[:16], *struct.unpack("!HB", data[16:19])
+    if marker != MARKER:
+        raise WireFormatError("bad BGP marker")
+    if not HEADER_LENGTH <= length <= MAX_MESSAGE_LENGTH:
+        raise WireFormatError(f"bad message length: {length}")
+    if len(data) < length:
+        raise WireFormatError("truncated BGP message body")
+    body = data[HEADER_LENGTH:length]
+    try:
+        message_type = MessageType(kind)
+    except ValueError as exc:
+        raise WireFormatError(f"unknown message type: {kind}") from exc
+    if message_type == MessageType.OPEN:
+        return _decode_open(body), length
+    if message_type == MessageType.UPDATE:
+        return _decode_update(body), length
+    if message_type == MessageType.KEEPALIVE:
+        if body:
+            raise WireFormatError("KEEPALIVE with a body")
+        return KeepaliveMessage(), length
+    if message_type == MessageType.ROUTE_REFRESH:
+        if len(body) != 4:
+            raise WireFormatError("bad ROUTE-REFRESH length")
+        afi, _reserved, safi = struct.unpack("!HBB", body)
+        return RouteRefreshMessage(afi, safi), length
+    if len(body) < 2:
+        raise WireFormatError("truncated NOTIFICATION")
+    return NotificationMessage(body[0], body[1], body[2:]), length
+
+
+def iter_messages(data: bytes) -> Iterator[BGPMessage]:
+    """Yield successive messages from a concatenated byte stream."""
+    offset = 0
+    while offset < len(data):
+        message, consumed = decode_message_from(data[offset:])
+        yield message
+        offset += consumed
+
+
+# ----------------------------------------------------------------------
+# OPEN
+# ----------------------------------------------------------------------
+def _encode_open(message: OpenMessage) -> bytes:
+    asn16 = int(message.asn) if message.asn.is_16bit else _AS_TRANS
+    router_id = int(ipaddress.IPv4Address(message.router_id))
+    capabilities = bytearray()
+    # Multiprotocol: IPv4 and IPv6 unicast.
+    for afi in (Afi.IPV4, Afi.IPV6):
+        capabilities += bytes([_CAP_MP, 4]) + struct.pack(
+            "!HBB", afi, 0, Safi.UNICAST
+        )
+    if message.four_octet_asn:
+        capabilities += bytes([_CAP_FOUR_OCTET_ASN, 4]) + struct.pack(
+            "!I", int(message.asn)
+        )
+    optional = b""
+    if capabilities:
+        optional = bytes([2, len(capabilities)]) + bytes(capabilities)
+    return (
+        struct.pack(
+            "!BHHI",
+            BGP_VERSION,
+            asn16,
+            message.hold_time,
+            router_id,
+        )
+        + bytes([len(optional)])
+        + optional
+    )
+
+
+def _decode_open(body: bytes) -> OpenMessage:
+    if len(body) < 10:
+        raise WireFormatError("truncated OPEN")
+    version, asn16, hold_time, router_id_int = struct.unpack(
+        "!BHHI", body[:9]
+    )
+    if version != BGP_VERSION:
+        raise WireFormatError(f"unsupported BGP version: {version}")
+    opt_length = body[9]
+    optional = body[10 : 10 + opt_length]
+    if len(optional) != opt_length:
+        raise WireFormatError("truncated OPEN optional parameters")
+    asn = asn16
+    four_octet = False
+    offset = 0
+    while offset + 2 <= len(optional):
+        param_type, param_length = optional[offset], optional[offset + 1]
+        value = optional[offset + 2 : offset + 2 + param_length]
+        offset += 2 + param_length
+        if param_type != 2:  # only capabilities are modeled
+            continue
+        cap_offset = 0
+        while cap_offset + 2 <= len(value):
+            cap_code, cap_length = value[cap_offset], value[cap_offset + 1]
+            cap_value = value[cap_offset + 2 : cap_offset + 2 + cap_length]
+            cap_offset += 2 + cap_length
+            if cap_code == _CAP_FOUR_OCTET_ASN and cap_length == 4:
+                asn = struct.unpack("!I", cap_value)[0]
+                four_octet = True
+    router_id = str(ipaddress.IPv4Address(router_id_int))
+    return OpenMessage(
+        asn, router_id, hold_time, four_octet_asn=four_octet
+    )
+
+
+# ----------------------------------------------------------------------
+# UPDATE
+# ----------------------------------------------------------------------
+def _encode_update(message: UpdateMessage) -> bytes:
+    withdrawn_v4 = [p for p in message.withdrawn if p.version == 4]
+    withdrawn_v6 = [p for p in message.withdrawn if p.version == 6]
+    announced_v4 = [p for p in message.announced if p.version == 4]
+    announced_v6 = [p for p in message.announced if p.version == 6]
+
+    withdrawn_bytes = b"".join(p.to_nlri() for p in withdrawn_v4)
+    attrs = bytearray()
+    if message.attributes is not None and (announced_v4 or announced_v6):
+        attrs += _encode_attributes(message.attributes)
+    if announced_v6:
+        if message.attributes is None:
+            raise WireFormatError("IPv6 NLRI without attributes")
+        attrs += _encode_mp_reach(announced_v6, message.attributes)
+    if withdrawn_v6:
+        attrs += _encode_mp_unreach(withdrawn_v6)
+    nlri_bytes = b"".join(p.to_nlri() for p in announced_v4)
+    return (
+        struct.pack("!H", len(withdrawn_bytes))
+        + withdrawn_bytes
+        + struct.pack("!H", len(attrs))
+        + bytes(attrs)
+        + nlri_bytes
+    )
+
+
+def _decode_update(body: bytes) -> UpdateMessage:
+    if len(body) < 4:
+        raise WireFormatError("truncated UPDATE")
+    withdrawn_length = struct.unpack("!H", body[:2])[0]
+    offset = 2
+    withdrawn_end = offset + withdrawn_length
+    if withdrawn_end + 2 > len(body):
+        raise WireFormatError("truncated UPDATE withdrawn routes")
+    withdrawn = list(_decode_nlri_block(body[offset:withdrawn_end], 4))
+    offset = withdrawn_end
+    attr_length = struct.unpack("!H", body[offset : offset + 2])[0]
+    offset += 2
+    attr_end = offset + attr_length
+    if attr_end > len(body):
+        raise WireFormatError("truncated UPDATE attributes")
+    fields, reach_v6, unreach_v6, mp_next_hop = _decode_attributes(
+        body[offset:attr_end]
+    )
+    announced = list(_decode_nlri_block(body[attr_end:], 4))
+    announced.extend(reach_v6)
+    withdrawn.extend(unreach_v6)
+    attributes = None
+    if announced:
+        if mp_next_hop is not None and fields.get("next_hop") is None:
+            fields["next_hop"] = mp_next_hop
+        attributes = PathAttributes(**fields)
+    return UpdateMessage(
+        announced=announced, withdrawn=withdrawn, attributes=attributes
+    )
+
+
+def _decode_nlri_block(data: bytes, version: int) -> Iterator[Prefix]:
+    offset = 0
+    while offset < len(data):
+        prefix, consumed = Prefix.from_nlri(data[offset:], version)
+        yield prefix
+        offset += consumed
+
+
+# ----------------------------------------------------------------------
+# path attributes
+# ----------------------------------------------------------------------
+def _encode_attribute(attr_type: AttrType, value: bytes) -> bytes:
+    flags = CANONICAL_FLAGS[attr_type]
+    if len(value) > 255:
+        flags |= AttrFlag.EXTENDED_LENGTH
+        return struct.pack("!BBH", flags, attr_type, len(value)) + value
+    return struct.pack("!BBB", flags, attr_type, len(value)) + value
+
+
+def _encode_attributes(attributes: PathAttributes) -> bytes:
+    out = bytearray()
+    out += _encode_attribute(
+        AttrType.ORIGIN, bytes([attributes.origin])
+    )
+    out += _encode_attribute(
+        AttrType.AS_PATH, _encode_as_path(attributes.as_path)
+    )
+    if attributes.next_hop is not None:
+        next_hop = ipaddress.ip_address(attributes.next_hop)
+        if next_hop.version == 4:
+            out += _encode_attribute(
+                AttrType.NEXT_HOP, next_hop.packed
+            )
+        # IPv6 next hops ride in MP_REACH_NLRI instead.
+    if attributes.med is not None:
+        out += _encode_attribute(
+            AttrType.MULTI_EXIT_DISC, struct.pack("!I", attributes.med)
+        )
+    if attributes.local_pref is not None:
+        out += _encode_attribute(
+            AttrType.LOCAL_PREF, struct.pack("!I", attributes.local_pref)
+        )
+    if attributes.atomic_aggregate:
+        out += _encode_attribute(AttrType.ATOMIC_AGGREGATE, b"")
+    if attributes.aggregator is not None:
+        asn, router_id = attributes.aggregator
+        out += _encode_attribute(
+            AttrType.AGGREGATOR,
+            struct.pack("!I", int(asn))
+            + ipaddress.IPv4Address(router_id).packed,
+        )
+    if attributes.communities.classic:
+        payload = b"".join(
+            community.to_bytes()
+            for community in sorted(attributes.communities.classic)
+        )
+        out += _encode_attribute(AttrType.COMMUNITIES, payload)
+    if attributes.communities.large:
+        payload = b"".join(
+            community.to_bytes()
+            for community in sorted(attributes.communities.large)
+        )
+        out += _encode_attribute(AttrType.LARGE_COMMUNITIES, payload)
+    if attributes.originator_id is not None:
+        out += _encode_attribute(
+            AttrType.ORIGINATOR_ID,
+            ipaddress.IPv4Address(attributes.originator_id).packed,
+        )
+    if attributes.cluster_list:
+        payload = b"".join(
+            ipaddress.IPv4Address(entry).packed
+            for entry in attributes.cluster_list
+        )
+        out += _encode_attribute(AttrType.CLUSTER_LIST, payload)
+    for type_code, raw in attributes.extra:
+        flags = AttrFlag.OPTIONAL | AttrFlag.TRANSITIVE | AttrFlag.PARTIAL
+        if len(raw) > 255:
+            flags |= AttrFlag.EXTENDED_LENGTH
+            out += struct.pack("!BBH", flags, type_code, len(raw)) + raw
+        else:
+            out += struct.pack("!BBB", flags, type_code, len(raw)) + raw
+    return bytes(out)
+
+
+def _decode_attributes(data: bytes):
+    """Decode the attribute block.
+
+    Returns ``(fields, reach_v6, unreach_v6, mp_next_hop)`` where
+    *fields* are :class:`PathAttributes` constructor kwargs.
+    """
+    fields: dict = {}
+    extra: list = []
+    reach_v6: list = []
+    unreach_v6: list = []
+    mp_next_hop = None
+    offset = 0
+    while offset < len(data):
+        if offset + 3 > len(data):
+            raise WireFormatError("truncated attribute header")
+        flags = data[offset]
+        type_code = data[offset + 1]
+        if flags & AttrFlag.EXTENDED_LENGTH:
+            if offset + 4 > len(data):
+                raise WireFormatError("truncated extended attribute header")
+            length = struct.unpack("!H", data[offset + 2 : offset + 4])[0]
+            value_start = offset + 4
+        else:
+            length = data[offset + 2]
+            value_start = offset + 3
+        value = data[value_start : value_start + length]
+        if len(value) != length:
+            raise WireFormatError("truncated attribute value")
+        offset = value_start + length
+        _decode_one_attribute(
+            type_code, value, fields, extra, reach_v6, unreach_v6
+        )
+    mp_next_hop = fields.pop("_mp_next_hop", mp_next_hop)
+    if extra:
+        fields["extra"] = tuple(extra)
+    return fields, reach_v6, unreach_v6, mp_next_hop
+
+
+def _decode_one_attribute(
+    type_code, value, fields, extra, reach_v6, unreach_v6
+):
+    if type_code == AttrType.ORIGIN:
+        if len(value) != 1:
+            raise WireFormatError("bad ORIGIN length")
+        fields["origin"] = OriginCode(value[0])
+    elif type_code == AttrType.AS_PATH:
+        fields["as_path"] = _decode_as_path(value)
+    elif type_code == AttrType.NEXT_HOP:
+        if len(value) != 4:
+            raise WireFormatError("bad NEXT_HOP length")
+        fields["next_hop"] = str(ipaddress.IPv4Address(value))
+    elif type_code == AttrType.MULTI_EXIT_DISC:
+        if len(value) != 4:
+            raise WireFormatError("bad MED length")
+        fields["med"] = struct.unpack("!I", value)[0]
+    elif type_code == AttrType.LOCAL_PREF:
+        if len(value) != 4:
+            raise WireFormatError("bad LOCAL_PREF length")
+        fields["local_pref"] = struct.unpack("!I", value)[0]
+    elif type_code == AttrType.ATOMIC_AGGREGATE:
+        fields["atomic_aggregate"] = True
+    elif type_code == AttrType.AGGREGATOR:
+        if len(value) == 8:
+            asn = struct.unpack("!I", value[:4])[0]
+            router = str(ipaddress.IPv4Address(value[4:]))
+        elif len(value) == 6:
+            asn = struct.unpack("!H", value[:2])[0]
+            router = str(ipaddress.IPv4Address(value[2:]))
+        else:
+            raise WireFormatError("bad AGGREGATOR length")
+        fields["aggregator"] = (ASN(asn), router)
+    elif type_code == AttrType.COMMUNITIES:
+        if len(value) % 4:
+            raise WireFormatError("bad COMMUNITIES length")
+        classic = [
+            Community.from_bytes(value[i : i + 4])
+            for i in range(0, len(value), 4)
+        ]
+        existing = fields.get("communities", CommunitySet.empty())
+        fields["communities"] = CommunitySet(classic, existing.large)
+    elif type_code == AttrType.LARGE_COMMUNITIES:
+        if len(value) % 12:
+            raise WireFormatError("bad LARGE_COMMUNITIES length")
+        large = [
+            LargeCommunity.from_bytes(value[i : i + 12])
+            for i in range(0, len(value), 12)
+        ]
+        existing = fields.get("communities", CommunitySet.empty())
+        fields["communities"] = CommunitySet(existing.classic, large)
+    elif type_code == AttrType.ORIGINATOR_ID:
+        if len(value) != 4:
+            raise WireFormatError("bad ORIGINATOR_ID length")
+        fields["originator_id"] = str(ipaddress.IPv4Address(value))
+    elif type_code == AttrType.CLUSTER_LIST:
+        if len(value) % 4:
+            raise WireFormatError("bad CLUSTER_LIST length")
+        fields["cluster_list"] = tuple(
+            str(ipaddress.IPv4Address(value[i : i + 4]))
+            for i in range(0, len(value), 4)
+        )
+    elif type_code == AttrType.MP_REACH_NLRI:
+        afi, safi = struct.unpack("!HB", value[:3])
+        next_hop_length = value[3]
+        next_hop_bytes = value[4 : 4 + next_hop_length]
+        nlri_offset = 4 + next_hop_length + 1  # +1 reserved octet
+        if afi == Afi.IPV6 and safi == Safi.UNICAST:
+            if next_hop_length >= 16:
+                fields["_mp_next_hop"] = str(
+                    ipaddress.IPv6Address(next_hop_bytes[:16])
+                )
+            reach_v6.extend(_decode_nlri_block(value[nlri_offset:], 6))
+    elif type_code == AttrType.MP_UNREACH_NLRI:
+        afi, safi = struct.unpack("!HB", value[:3])
+        if afi == Afi.IPV6 and safi == Safi.UNICAST:
+            unreach_v6.extend(_decode_nlri_block(value[3:], 6))
+    else:
+        extra.append((type_code, bytes(value)))
+
+
+def _encode_as_path(path: ASPath) -> bytes:
+    out = bytearray()
+    for segment in path.segments:
+        out.append(segment.kind)
+        out.append(len(segment.asns))
+        for asn in segment.asns:
+            out += struct.pack("!I", int(asn))
+    return bytes(out)
+
+
+def _decode_as_path(data: bytes) -> ASPath:
+    segments = []
+    offset = 0
+    while offset < len(data):
+        if offset + 2 > len(data):
+            raise WireFormatError("truncated AS_PATH segment header")
+        kind, count = data[offset], data[offset + 1]
+        offset += 2
+        needed = count * 4
+        if offset + needed > len(data):
+            raise WireFormatError("truncated AS_PATH segment")
+        asns = struct.unpack(f"!{count}I", data[offset : offset + needed])
+        offset += needed
+        try:
+            segments.append(PathSegment(SegmentType(kind), asns))
+        except ValueError as exc:
+            raise WireFormatError(f"bad AS_PATH segment type {kind}") from exc
+    return ASPath(segments)
+
+
+def _encode_mp_reach(prefixes, attributes: PathAttributes) -> bytes:
+    next_hop = attributes.next_hop
+    if next_hop is None or ipaddress.ip_address(next_hop).version != 6:
+        next_hop_bytes = bytes(16)
+    else:
+        next_hop_bytes = ipaddress.IPv6Address(next_hop).packed
+    payload = (
+        struct.pack("!HB", Afi.IPV6, Safi.UNICAST)
+        + bytes([len(next_hop_bytes)])
+        + next_hop_bytes
+        + b"\x00"
+        + b"".join(p.to_nlri() for p in prefixes)
+    )
+    return _encode_attribute(AttrType.MP_REACH_NLRI, payload)
+
+
+def _encode_mp_unreach(prefixes) -> bytes:
+    payload = struct.pack("!HB", Afi.IPV6, Safi.UNICAST) + b"".join(
+        p.to_nlri() for p in prefixes
+    )
+    return _encode_attribute(AttrType.MP_UNREACH_NLRI, payload)

@@ -1,0 +1,168 @@
+"""Command-line tools.
+
+Three subcommands mirror the three ways people use the library:
+
+* ``repro lab [--vendor VENDOR]`` — run the §3 lab experiment matrix;
+* ``repro classify FILE [--collector NAME]`` — classify announcement
+  types in an MRT update archive (real RouteViews/RIS files work);
+* ``repro simulate [--scale small|mar20] [--seed N]`` — simulate one
+  measurement day and print Table 1 + Table 2.
+
+Installed as ``python -m repro.cli`` (no console-script entry point is
+registered, keeping the offline install dependency-free).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    build_table1,
+    build_table2,
+    observations_from_collector,
+    observations_from_mrt,
+)
+from repro.reports import format_share, render_kv_table, render_table
+from repro.vendors import ALL_PROFILES, profile_by_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Keep your Communities Clean'"
+            " (CoNEXT 2020)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lab = subparsers.add_parser(
+        "lab", help="run the lab experiment matrix (paper §3)"
+    )
+    lab.add_argument(
+        "--vendor",
+        help="restrict to one vendor (e.g. junos, cisco, bird)",
+        default=None,
+    )
+
+    classify = subparsers.add_parser(
+        "classify", help="classify announcement types in an MRT file"
+    )
+    classify.add_argument("file", help="MRT update archive path")
+    classify.add_argument(
+        "--collector", default="unknown", help="collector label"
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate one measurement day"
+    )
+    simulate.add_argument(
+        "--scale",
+        choices=("small", "mar20"),
+        default="small",
+        help="topology scale (default: small)",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=None, help="override the RNG seed"
+    )
+    return parser
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "lab":
+        return _run_lab(arguments)
+    if arguments.command == "classify":
+        return _run_classify(arguments)
+    return _run_simulate(arguments)
+
+
+def _run_lab(arguments) -> int:
+    from repro.simulator import run_all_experiments
+
+    if arguments.vendor is not None:
+        try:
+            vendors = (profile_by_name(arguments.vendor),)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        vendors = ALL_PROFILES
+    results = run_all_experiments(vendors)
+    print(
+        render_table(
+            ("exp", "vendor", "Y1->X1", "collector", "behavior"),
+            (result.summary_row() for result in results),
+            title="Lab behavior matrix (paper §3)",
+        )
+    )
+    return 0
+
+
+def _run_classify(arguments) -> int:
+    from repro.mrt import MRTReader
+
+    try:
+        handle = open(arguments.file, "rb")
+    except OSError as exc:
+        print(f"cannot open {arguments.file}: {exc}", file=sys.stderr)
+        return 2
+    with handle:
+        reader = MRTReader(handle, tolerant=True)
+        observations = list(
+            observations_from_mrt(reader, arguments.collector)
+        )
+    if not observations:
+        print("no update messages found", file=sys.stderr)
+        return 1
+    _print_day_tables(observations)
+    return 0
+
+
+def _run_simulate(arguments) -> int:
+    from repro.workloads import InternetConfig, InternetModel
+
+    if arguments.scale == "small":
+        config = InternetConfig.small()
+    else:
+        config = InternetConfig.mar20()
+    if arguments.seed is not None:
+        config.seed = arguments.seed
+    day = InternetModel(config).run()
+    observations = []
+    for collector in day.collectors():
+        observations.extend(observations_from_collector(collector))
+    observations.sort(key=lambda obs: obs.timestamp)
+    _print_day_tables(observations, beacons=set(day.beacon_prefixes))
+    return 0
+
+
+def _print_day_tables(observations, *, beacons=None) -> None:
+    table1 = build_table1(observations)
+    print(render_kv_table(table1.as_rows(), title="Table 1: overview"))
+    print()
+    table2 = build_table2(observations, beacons)
+    rows = [
+        (
+            code,
+            description,
+            format_share(full),
+            format_share(beacon) if beacon is not None else "-",
+        )
+        for code, description, full, beacon in table2.as_rows()
+    ]
+    print(
+        render_table(
+            ("type", "observed changes", "share", "beacons"),
+            rows,
+            title="Table 2: announcement types",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

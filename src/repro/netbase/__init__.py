@@ -1,0 +1,48 @@
+"""Low-level network primitives shared by every other subsystem.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`
+so that the BGP model, the MRT codec, the simulator, and the analysis
+pipeline can all build on one set of prefix/ASN/time types.
+"""
+
+from repro.netbase.asn import (
+    ASN,
+    AS_TRANS,
+    is_private_asn,
+    is_reserved_asn,
+    parse_asn,
+)
+from repro.netbase.errors import (
+    NetBaseError,
+    PrefixError,
+    ASNError,
+    ClockError,
+)
+from repro.netbase.prefix import Prefix
+from repro.netbase.timebase import (
+    SimClock,
+    Timestamp,
+    utc_day,
+    parse_utc,
+    format_utc,
+    SECONDS_PER_DAY,
+)
+
+__all__ = [
+    "ASN",
+    "AS_TRANS",
+    "is_private_asn",
+    "is_reserved_asn",
+    "parse_asn",
+    "NetBaseError",
+    "PrefixError",
+    "ASNError",
+    "ClockError",
+    "Prefix",
+    "SimClock",
+    "Timestamp",
+    "utc_day",
+    "parse_utc",
+    "format_utc",
+    "SECONDS_PER_DAY",
+]

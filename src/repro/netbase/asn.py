@@ -1,0 +1,136 @@
+"""Autonomous System Number handling.
+
+BGP AS numbers are 16-bit in the original protocol and 32-bit since
+RFC 6793.  The paper's cleaning step (§4) removes messages containing
+ASNs that were unallocated at message time, which requires awareness of
+the reserved and private-use ranges carved out by IANA:
+
+* 0            — reserved (RFC 7607, may not appear in an AS path)
+* 23456        — AS_TRANS (RFC 6793 placeholder)
+* 64198–64495  — reserved by IANA
+* 64496–64511  — documentation (RFC 5398)
+* 64512–65534  — private use (RFC 6996)
+* 65535        — reserved (RFC 7300)
+* 65536–65551  — documentation (RFC 5398)
+* 4200000000–4294967294 — private use (RFC 6996)
+* 4294967295   — reserved (RFC 7300)
+
+An :class:`ASN` is an ``int`` subclass: it is hashable, sortable and
+arithmetically transparent, but knows how to render itself in *asplain*
+and *asdot* notation and how to validate its range.
+"""
+
+from __future__ import annotations
+
+from repro.netbase.errors import ASNError
+
+ASN_MAX_16BIT = 0xFFFF
+ASN_MAX_32BIT = 0xFFFFFFFF
+
+#: RFC 6793 placeholder ASN used by old speakers for 4-byte AS paths.
+AS_TRANS = 23456
+
+_PRIVATE_RANGES = (
+    (64512, 65534),
+    (4200000000, 4294967294),
+)
+
+_RESERVED_RANGES = (
+    (0, 0),
+    (64198, 64495),
+    (64496, 64511),
+    (65535, 65535),
+    (65536, 65551),
+    (4294967295, 4294967295),
+)
+
+
+class ASN(int):
+    """A validated autonomous system number.
+
+    >>> ASN(65000)
+    ASN(65000)
+    >>> ASN("64512.1")          # asdot notation
+    ASN(4227858433)
+    >>> ASN(3356).is_16bit
+    True
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: "int | str | ASN") -> "ASN":
+        if isinstance(value, str):
+            value = _parse_asn_string(value)
+        number = int(value)
+        if not 0 <= number <= ASN_MAX_32BIT:
+            raise ASNError(f"ASN out of range: {number}")
+        return super().__new__(cls, number)
+
+    @property
+    def is_16bit(self) -> bool:
+        """True when the ASN fits in the original 2-byte field."""
+        return self <= ASN_MAX_16BIT
+
+    @property
+    def is_private(self) -> bool:
+        """True for RFC 6996 private-use ASNs."""
+        return is_private_asn(self)
+
+    @property
+    def is_reserved(self) -> bool:
+        """True for IANA-reserved or documentation ASNs."""
+        return is_reserved_asn(self)
+
+    @property
+    def is_public(self) -> bool:
+        """True when the ASN may legitimately appear in the global table."""
+        return not (self.is_private or self.is_reserved or self == AS_TRANS)
+
+    def to_asdot(self) -> str:
+        """Render in RFC 5396 *asdot* notation (e.g. ``64512.1``)."""
+        if self.is_16bit:
+            return str(int(self))
+        return f"{int(self) >> 16}.{int(self) & 0xFFFF}"
+
+    def __repr__(self) -> str:
+        return f"ASN({int(self)})"
+
+    def __str__(self) -> str:
+        return str(int(self))
+
+
+def _parse_asn_string(text: str) -> int:
+    """Parse *asplain*, *asdot* or ``AS``-prefixed notation to an int."""
+    cleaned = text.strip()
+    if cleaned.upper().startswith("AS"):
+        cleaned = cleaned[2:]
+    if not cleaned:
+        raise ASNError(f"empty ASN string: {text!r}")
+    if "." in cleaned:
+        high_text, _, low_text = cleaned.partition(".")
+        try:
+            high, low = int(high_text), int(low_text)
+        except ValueError as exc:
+            raise ASNError(f"malformed asdot ASN: {text!r}") from exc
+        if not (0 <= high <= ASN_MAX_16BIT and 0 <= low <= ASN_MAX_16BIT):
+            raise ASNError(f"asdot component out of range: {text!r}")
+        return (high << 16) | low
+    try:
+        return int(cleaned)
+    except ValueError as exc:
+        raise ASNError(f"malformed ASN: {text!r}") from exc
+
+
+def parse_asn(text: "str | int") -> ASN:
+    """Parse any accepted ASN notation into an :class:`ASN`."""
+    return ASN(text)
+
+
+def is_private_asn(number: int) -> bool:
+    """Return True when *number* falls in an RFC 6996 private range."""
+    return any(low <= number <= high for low, high in _PRIVATE_RANGES)
+
+
+def is_reserved_asn(number: int) -> bool:
+    """Return True when *number* is IANA-reserved or documentation-only."""
+    return any(low <= number <= high for low, high in _RESERVED_RANGES)

@@ -1,0 +1,22 @@
+"""Exception hierarchy for :mod:`repro.netbase`.
+
+Every package in :mod:`repro` derives its errors from a small, local
+hierarchy so that callers can either catch narrowly (``PrefixError``) or
+broadly (``NetBaseError``) without ever resorting to bare ``Exception``.
+"""
+
+
+class NetBaseError(Exception):
+    """Base class for all errors raised by :mod:`repro.netbase`."""
+
+
+class PrefixError(NetBaseError, ValueError):
+    """An IP prefix string or component is malformed or out of range."""
+
+
+class ASNError(NetBaseError, ValueError):
+    """An AS number is malformed or out of the representable range."""
+
+
+class ClockError(NetBaseError, RuntimeError):
+    """The simulated clock was used incorrectly (e.g. moved backwards)."""

@@ -1,0 +1,229 @@
+"""IP prefix type used throughout the reproduction.
+
+We need a prefix representation that is
+
+* immutable and hashable (prefixes key RIBs, streams and counters),
+* cheap to compare and sort (billions of comparisons in the analysis),
+* capable of both IPv4 and IPv6 (the paper's dataset includes both),
+* convertible to and from the BGP/MRT wire encodings (NLRI format).
+
+The standard library :mod:`ipaddress` module is correct but carries
+overhead we do not want in the hot path, so :class:`Prefix` stores the
+network address as a plain ``int`` plus ``(length, version)`` and
+implements only the operations the reproduction needs.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterator
+
+from repro.netbase.errors import PrefixError
+
+_V4_BITS = 32
+_V6_BITS = 128
+
+
+class Prefix:
+    """An immutable IPv4/IPv6 prefix.
+
+    >>> Prefix("84.205.64.0/24")
+    Prefix('84.205.64.0/24')
+    >>> Prefix("2001:db8::/32").version
+    6
+    >>> Prefix("10.0.0.0/8").contains(Prefix("10.1.0.0/16"))
+    True
+    """
+
+    __slots__ = ("_network", "_length", "_version")
+
+    def __init__(self, text: "str | Prefix", *, strict: bool = True):
+        if isinstance(text, Prefix):
+            self._network = text._network
+            self._length = text._length
+            self._version = text._version
+            return
+        if not isinstance(text, str):
+            raise PrefixError(f"prefix must be a string, got {type(text).__name__}")
+        address_text, sep, length_text = text.partition("/")
+        if not sep:
+            raise PrefixError(f"missing prefix length: {text!r}")
+        try:
+            address = ipaddress.ip_address(address_text)
+            length = int(length_text)
+        except ValueError as exc:
+            raise PrefixError(f"malformed prefix: {text!r}") from exc
+        max_bits = _V4_BITS if address.version == 4 else _V6_BITS
+        if not 0 <= length <= max_bits:
+            raise PrefixError(f"prefix length out of range: {text!r}")
+        network = int(address)
+        mask = _mask(length, max_bits)
+        if strict and network & ~mask & ((1 << max_bits) - 1):
+            raise PrefixError(f"host bits set in prefix: {text!r}")
+        self._network = network & mask
+        self._length = length
+        self._version = address.version
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int(cls, network: int, length: int, version: int) -> "Prefix":
+        """Build a prefix directly from its integer representation."""
+        self = object.__new__(cls)
+        max_bits = _V4_BITS if version == 4 else _V6_BITS
+        if version not in (4, 6):
+            raise PrefixError(f"bad IP version: {version}")
+        if not 0 <= length <= max_bits:
+            raise PrefixError(f"prefix length out of range: /{length}")
+        if not 0 <= network < (1 << max_bits):
+            raise PrefixError(f"network out of range for IPv{version}: {network}")
+        mask = _mask(length, max_bits)
+        if network & ~mask & ((1 << max_bits) - 1):
+            raise PrefixError("host bits set in prefix integer")
+        self._network = network
+        self._length = length
+        self._version = version
+        return self
+
+    @classmethod
+    def from_nlri(cls, data: bytes, version: int = 4) -> "tuple[Prefix, int]":
+        """Decode one BGP NLRI-encoded prefix from *data*.
+
+        Returns ``(prefix, bytes_consumed)``.  NLRI encoding is a length
+        octet followed by ``ceil(length / 8)`` network octets.
+        """
+        if not data:
+            raise PrefixError("empty NLRI")
+        length = data[0]
+        max_bits = _V4_BITS if version == 4 else _V6_BITS
+        if length > max_bits:
+            raise PrefixError(f"NLRI length {length} too long for IPv{version}")
+        octets = (length + 7) // 8
+        if len(data) < 1 + octets:
+            raise PrefixError("truncated NLRI")
+        network_bytes = data[1 : 1 + octets] + b"\x00" * (max_bits // 8 - octets)
+        network = int.from_bytes(network_bytes, "big")
+        mask = _mask(length, max_bits)
+        if network & ~mask & ((1 << max_bits) - 1):
+            # Tolerate sloppy senders: mask off trailing garbage bits.
+            network &= mask
+        return cls.from_int(network, length, version), 1 + octets
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> int:
+        """The network address as an integer."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """The prefix length in bits."""
+        return self._length
+
+    @property
+    def version(self) -> int:
+        """IP version, 4 or 6."""
+        return self._version
+
+    @property
+    def max_bits(self) -> int:
+        """The address width for this IP version (32 or 128)."""
+        return _V4_BITS if self._version == 4 else _V6_BITS
+
+    @property
+    def network_address(self) -> str:
+        """Dotted/colon text form of the network address."""
+        if self._version == 4:
+            return str(ipaddress.IPv4Address(self._network))
+        return str(ipaddress.IPv6Address(self._network))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains(self, other: "Prefix") -> bool:
+        """True when *other* is equal to or more specific than *self*."""
+        if self._version != other._version or other._length < self._length:
+            return False
+        shift = self.max_bits - self._length
+        return (self._network >> shift) == (other._network >> shift)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True when the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def supernet(self, new_length: "int | None" = None) -> "Prefix":
+        """Return the covering prefix with *new_length* (default −1 bit)."""
+        if new_length is None:
+            new_length = self._length - 1
+        if not 0 <= new_length <= self._length:
+            raise PrefixError(f"bad supernet length /{new_length} for {self}")
+        mask = _mask(new_length, self.max_bits)
+        return Prefix.from_int(self._network & mask, new_length, self._version)
+
+    def subnets(self) -> "tuple[Prefix, Prefix]":
+        """Split into the two next-longer prefixes."""
+        if self._length >= self.max_bits:
+            raise PrefixError(f"cannot subnet a host route: {self}")
+        new_length = self._length + 1
+        low = Prefix.from_int(self._network, new_length, self._version)
+        high_bit = 1 << (self.max_bits - new_length)
+        high = Prefix.from_int(self._network | high_bit, new_length, self._version)
+        return low, high
+
+    def hosts_count(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (self.max_bits - self._length)
+
+    # ------------------------------------------------------------------
+    # wire encoding
+    # ------------------------------------------------------------------
+    def to_nlri(self) -> bytes:
+        """Encode in BGP NLRI format (length octet + packed network)."""
+        octets = (self._length + 7) // 8
+        packed = self._network.to_bytes(self.max_bits // 8, "big")[:octets]
+        return bytes([self._length]) + packed
+
+    def iter_host_bits(self) -> Iterator[int]:
+        """Yield the network bits most-significant first (for tries)."""
+        for position in range(self._length):
+            yield (self._network >> (self.max_bits - 1 - position)) & 1
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (self._version, self._network, self._length)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __le__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._key() <= other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"Prefix('{self}')"
+
+    def __str__(self) -> str:
+        return f"{self.network_address}/{self._length}"
+
+
+def _mask(length: int, max_bits: int) -> int:
+    """Return the network mask for *length* bits out of *max_bits*."""
+    if length == 0:
+        return 0
+    return ((1 << length) - 1) << (max_bits - length)

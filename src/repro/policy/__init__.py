@@ -1,0 +1,59 @@
+"""Routing policy: community tagging, filtering, and action handling.
+
+Policies are small composable transforms applied at session ingress
+(import) and egress (export).  The paper's taxonomy maps directly:
+
+* *informational* communities (geo-tags) are added by import policies —
+  see :class:`~repro.policy.geo.GeoTagger`;
+* community *cleaning* happens in import or export filter steps — see
+  :mod:`repro.policy.filters`; the ingress/egress distinction is the
+  whole difference between the paper's Exp3 and Exp4;
+* *action* communities (blackhole, NO_EXPORT) are honored by export
+  logic — see :mod:`repro.policy.actions`.
+"""
+
+from repro.policy.engine import (
+    PolicyStep,
+    PolicyChain,
+    RoutingPolicy,
+    AcceptAll,
+    RejectAll,
+)
+from repro.policy.filters import (
+    StripAllCommunities,
+    StripCommunitiesOfASN,
+    StripCommunitiesMatching,
+    KeepOnlyOwnCommunities,
+    AddCommunity,
+    SetMED,
+    SetLocalPref,
+    PrependASN,
+)
+from repro.policy.geo import GeoTagger, GeoLocation, GeoCommunityScheme
+from repro.policy.actions import (
+    honor_no_export,
+    is_blackhole,
+    BlackholePolicy,
+)
+
+__all__ = [
+    "PolicyStep",
+    "PolicyChain",
+    "RoutingPolicy",
+    "AcceptAll",
+    "RejectAll",
+    "StripAllCommunities",
+    "StripCommunitiesOfASN",
+    "StripCommunitiesMatching",
+    "KeepOnlyOwnCommunities",
+    "AddCommunity",
+    "SetMED",
+    "SetLocalPref",
+    "PrependASN",
+    "GeoTagger",
+    "GeoLocation",
+    "GeoCommunityScheme",
+    "honor_no_export",
+    "is_blackhole",
+    "BlackholePolicy",
+]

@@ -1,0 +1,68 @@
+"""Action communities: in-band signals honored by the receiving AS.
+
+The paper's taxonomy (after Donnet & Bonaventure, and RFC 8195) splits
+communities into *informational* (geo-tags, handled in
+:mod:`repro.policy.geo`) and *action* communities.  We model the two
+action families that matter for message dynamics:
+
+* the well-known NO_EXPORT / NO_ADVERTISE scoping communities, honored
+  by the router's export logic, and
+* RFC 7999 BLACKHOLE, honored by a provider-side import policy.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import (
+    BLACKHOLE,
+    NO_ADVERTISE,
+    NO_EXPORT,
+    NO_EXPORT_SUBCONFED,
+)
+from repro.policy.engine import PolicyContext, PolicyStep
+
+
+def honor_no_export(attributes: PathAttributes, *, is_ebgp: bool) -> bool:
+    """Return True when the route may be advertised on this session.
+
+    NO_ADVERTISE blocks every advertisement; NO_EXPORT (and the
+    subconfed variant, which we treat identically since we do not model
+    confederations) blocks only eBGP sessions.
+    """
+    communities = attributes.communities
+    if NO_ADVERTISE in communities:
+        return False
+    if is_ebgp and (
+        NO_EXPORT in communities or NO_EXPORT_SUBCONFED in communities
+    ):
+        return False
+    return True
+
+
+def is_blackhole(attributes: PathAttributes) -> bool:
+    """True when the route carries the RFC 7999 BLACKHOLE community."""
+    return BLACKHOLE in attributes.communities
+
+
+class BlackholePolicy(PolicyStep):
+    """Provider import step honoring customer blackhole requests.
+
+    Accepting a blackhole route means installing it with maximal
+    preference (so it wins) and scoping it with NO_EXPORT so the DoS
+    mitigation does not leak beyond the provider — the RFC 7999
+    recommended behavior.  Non-blackhole routes pass through.
+    """
+
+    def __init__(self, *, local_pref: int = 10_000):
+        self._local_pref = int(local_pref)
+
+    def apply(self, attributes, context: PolicyContext):
+        if not is_blackhole(attributes):
+            return attributes
+        return attributes.replace(
+            local_pref=self._local_pref,
+            communities=attributes.communities.add(NO_EXPORT),
+        )
+
+    def describe(self) -> str:
+        return f"blackhole(local-pref={self._local_pref})"

@@ -1,0 +1,179 @@
+"""Concrete policy steps: community filters, taggers, and knobs.
+
+These are the levers the paper's experiments pull:
+
+* :class:`AddCommunity` — Exp2's ingress geo-tagging (Y2 adds Y:300).
+* :class:`StripAllCommunities` on export — Exp3's egress cleaning,
+  which still leaks `nn` duplicates on non-Junos routers.
+* :class:`StripAllCommunities` on import — Exp4's ingress cleaning,
+  which keeps the RIB clean and fully suppresses the spurious update.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.policy.engine import PolicyContext, PolicyStep
+
+
+class StripAllCommunities(PolicyStep):
+    """Remove the entire community attribute (classic and large)."""
+
+    def apply(self, attributes, context):
+        if attributes.communities.is_empty():
+            return attributes
+        return attributes.with_communities(CommunitySet.empty())
+
+    def describe(self) -> str:
+        return "strip-all-communities"
+
+
+class StripCommunitiesOfASN(PolicyStep):
+    """Remove communities administered by a specific ASN."""
+
+    def __init__(self, asn: int):
+        self._asn = int(asn)
+
+    def apply(self, attributes, context):
+        cleaned = attributes.communities.without_asn(self._asn)
+        if cleaned == attributes.communities:
+            return attributes
+        return attributes.with_communities(cleaned)
+
+    def describe(self) -> str:
+        return f"strip-communities-of-as{self._asn}"
+
+
+class StripCommunitiesMatching(PolicyStep):
+    """Remove communities for which *predicate* returns True."""
+
+    def __init__(self, predicate: Callable, description: str = "predicate"):
+        self._predicate = predicate
+        self._description = description
+
+    def apply(self, attributes, context):
+        kept = attributes.communities.filter(
+            lambda community: not self._predicate(community)
+        )
+        if kept == attributes.communities:
+            return attributes
+        return attributes.with_communities(kept)
+
+    def describe(self) -> str:
+        return f"strip-communities-matching({self._description})"
+
+
+class KeepOnlyOwnCommunities(PolicyStep):
+    """Drop every community not administered by the local AS.
+
+    The hygienic egress policy the paper recommends: an AS that scrubs
+    foreign tags cannot transitively propagate a neighbor's geo noise.
+    """
+
+    def apply(self, attributes, context):
+        kept = attributes.communities.only_asn(int(context.local_asn))
+        if kept == attributes.communities:
+            return attributes
+        return attributes.with_communities(kept)
+
+    def describe(self) -> str:
+        return "keep-only-own-communities"
+
+
+class AddCommunity(PolicyStep):
+    """Add fixed communities (informational tagging)."""
+
+    def __init__(self, *communities: "Community | LargeCommunity | str"):
+        resolved = []
+        for item in communities:
+            if isinstance(item, str):
+                if item.count(":") == 2:
+                    resolved.append(LargeCommunity.parse(item))
+                else:
+                    resolved.append(Community.parse(item))
+            else:
+                resolved.append(item)
+        if not resolved:
+            raise ValueError("AddCommunity requires at least one community")
+        self._communities = tuple(resolved)
+
+    @property
+    def communities(self) -> tuple:
+        """The communities this step adds."""
+        return self._communities
+
+    def apply(self, attributes, context):
+        updated = attributes.communities.add(*self._communities)
+        if updated == attributes.communities:
+            return attributes
+        return attributes.with_communities(updated)
+
+    def describe(self) -> str:
+        tags = " ".join(str(c) for c in self._communities)
+        return f"add-community({tags})"
+
+
+class SetMED(PolicyStep):
+    """Set (or clear, with None) the MED attribute."""
+
+    def __init__(self, med: "int | None"):
+        self._med = med
+
+    def apply(self, attributes, context):
+        if attributes.med == self._med:
+            return attributes
+        return attributes.replace(med=self._med)
+
+    def describe(self) -> str:
+        return f"set-med({self._med})"
+
+
+class SetLocalPref(PolicyStep):
+    """Set LOCAL_PREF (import side of eBGP sessions)."""
+
+    def __init__(self, local_pref: int):
+        self._local_pref = int(local_pref)
+
+    def apply(self, attributes, context):
+        if attributes.local_pref == self._local_pref:
+            return attributes
+        return attributes.replace(local_pref=self._local_pref)
+
+    def describe(self) -> str:
+        return f"set-local-pref({self._local_pref})"
+
+
+class PrependASN(PolicyStep):
+    """Prepend the local ASN extra times on export (traffic engineering).
+
+    This is the mechanism behind the paper's (rare) ``xc``/``xn``
+    announcement types.
+    """
+
+    def __init__(self, count: int = 1):
+        if count < 1:
+            raise ValueError(f"prepend count must be >= 1, got {count}")
+        self._count = count
+
+    def apply(self, attributes, context):
+        return attributes.with_prepend(context.local_asn, self._count)
+
+    def describe(self) -> str:
+        return f"prepend-own-asn(x{self._count})"
+
+
+class RejectPrefixes(PolicyStep):
+    """Reject routes for specific prefixes (selective announcement)."""
+
+    def __init__(self, prefixes: Iterable):
+        self._prefixes = frozenset(prefixes)
+
+    def apply(self, attributes, context):
+        if context.prefix in self._prefixes:
+            return None
+        return attributes
+
+    def describe(self) -> str:
+        return f"reject-prefixes({len(self._prefixes)})"

@@ -1,0 +1,181 @@
+"""Geographic community tagging.
+
+Large transit ASes tag routes at ingress with the location where they
+were received — the paper's measured example is AS3356 (Lumen), whose
+route via (20205 3356 174 12654) revealed 9 distinct ingress locations
+(city, country and continent communities) during a single day's
+withdrawal phases (§6, Figure 4).
+
+:class:`GeoCommunityScheme` models the common encoding convention:
+one 16-bit local-value band per granularity, e.g.
+
+* continent:  ``ASN:5x``    (51 Europe, 52 North America, ...)
+* country:    ``ASN:1xx``   (100 + country index)
+* city:       ``ASN:3xx``   (300 + city/PoP index)
+
+so a single ingress point contributes up to three communities, exactly
+the "two geographical regions, two country, nine city" mix the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.bgp.community import Community, CommunitySet
+from repro.policy.engine import PolicyContext, PolicyStep
+
+#: Continent index used by the default scheme.
+CONTINENTS = (
+    "europe",
+    "north-america",
+    "asia",
+    "south-america",
+    "africa",
+    "oceania",
+)
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """One ingress location: continent / country / city triple."""
+
+    continent: str
+    country: str
+    city: str
+
+    def __post_init__(self):
+        if self.continent not in CONTINENTS:
+            raise ValueError(f"unknown continent: {self.continent!r}")
+
+    def __str__(self) -> str:
+        return f"{self.city}, {self.country}, {self.continent}"
+
+
+class GeoCommunityScheme:
+    """Maps locations to community values for one tagging AS."""
+
+    #: Local-value bases for each granularity band.
+    CONTINENT_BASE = 50
+    COUNTRY_BASE = 100
+    CITY_BASE = 300
+
+    def __init__(self, asn: int):
+        self._asn = int(asn)
+        self._country_index: Dict[str, int] = {}
+        self._city_index: Dict[str, int] = {}
+
+    @property
+    def asn(self) -> int:
+        """The tagging AS."""
+        return self._asn
+
+    def communities_for(self, location: GeoLocation) -> CommunitySet:
+        """All communities encoding *location* (continent+country+city)."""
+        continent_value = (
+            self.CONTINENT_BASE + 1 + CONTINENTS.index(location.continent)
+        )
+        country_value = self.COUNTRY_BASE + self._index(
+            self._country_index, location.country
+        )
+        city_value = self.CITY_BASE + self._index(
+            self._city_index, location.city
+        )
+        return CommunitySet(
+            (
+                Community.of(self._asn, continent_value),
+                Community.of(self._asn, country_value),
+                Community.of(self._asn, city_value),
+            )
+        )
+
+    def granularity_of(self, community: Community) -> Optional[str]:
+        """Classify a community of this AS as continent/country/city."""
+        if community.asn != self._asn:
+            return None
+        value = community.local_value
+        if self.CONTINENT_BASE < value <= self.CONTINENT_BASE + len(CONTINENTS):
+            return "continent"
+        if self.COUNTRY_BASE <= value < self.CITY_BASE:
+            return "country"
+        if value >= self.CITY_BASE:
+            return "city"
+        return None
+
+    @staticmethod
+    def _index(table: Dict[str, int], key: str) -> int:
+        if key not in table:
+            table[key] = len(table)
+        return table[key]
+
+
+class GeoTagger(PolicyStep):
+    """Import policy step: tag routes with the ingress location.
+
+    The tagger is configured with a mapping from ingress-point names
+    (as carried in :class:`~repro.policy.engine.PolicyContext`) to
+    :class:`GeoLocation`.  Routes arriving at an unknown ingress point
+    pass through untouched — matching how real networks only tag at
+    instrumented edges.
+    """
+
+    def __init__(
+        self,
+        asn: int,
+        locations: "dict[str, GeoLocation]",
+        *,
+        scheme: "GeoCommunityScheme | None" = None,
+        replace_previous: bool = True,
+    ):
+        self._asn = int(asn)
+        self._locations = dict(locations)
+        self._scheme = scheme or GeoCommunityScheme(asn)
+        self._replace_previous = bool(replace_previous)
+        # Pre-compute the tag set per ingress point: stable indices.
+        self._tags = {
+            point: self._scheme.communities_for(location)
+            for point, location in sorted(self._locations.items())
+        }
+
+    @property
+    def scheme(self) -> GeoCommunityScheme:
+        """The community encoding scheme."""
+        return self._scheme
+
+    @property
+    def ingress_points(self) -> "list[str]":
+        """Names of the instrumented ingress points."""
+        return sorted(self._locations)
+
+    def location_of(self, ingress_point: str) -> Optional[GeoLocation]:
+        """The configured location for an ingress point."""
+        return self._locations.get(ingress_point)
+
+    def apply(self, attributes, context: PolicyContext):
+        tags = self._tags.get(context.ingress_point or "")
+        if tags is None:
+            return attributes
+        communities = attributes.communities
+        if self._replace_previous:
+            # Re-tagging at a new ingress replaces this AS's own tags;
+            # a route cannot be "in Dallas and Vienna" simultaneously.
+            communities = communities.without_asn(self._asn)
+        updated = communities.union(tags)
+        if updated == attributes.communities:
+            return attributes
+        return attributes.with_communities(updated)
+
+    def describe(self) -> str:
+        return f"geo-tag(as{self._asn}, {len(self._locations)} ingresses)"
+
+
+def build_locations(entries: Iterable["tuple[str, str, str, str]"]):
+    """Convenience: build the GeoTagger mapping from 4-tuples.
+
+    Each entry is ``(ingress_point, continent, country, city)``.
+    """
+    return {
+        point: GeoLocation(continent, country, city)
+        for point, continent, country, city in entries
+    }

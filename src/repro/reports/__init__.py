@@ -1,0 +1,17 @@
+"""Report rendering used by benchmarks and examples."""
+
+from repro.reports.render import (
+    render_table,
+    render_kv_table,
+    render_series,
+    render_stacked_counts,
+    format_share,
+)
+
+__all__ = [
+    "render_table",
+    "render_kv_table",
+    "render_series",
+    "render_stacked_counts",
+    "format_share",
+]

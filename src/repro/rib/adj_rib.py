@@ -1,0 +1,112 @@
+"""Adjacency RIBs: per-peer inbound and outbound route stores.
+
+:class:`AdjRIBIn` stores what a peer advertised (post import policy, as
+RFC 4271 permits either; storing post-policy matches the paper's Exp4
+observation that ingress filtering removes communities "from the
+router's RIB").
+
+:class:`AdjRIBOut` stores what we last advertised to a peer.  Whether a
+router *compares* a pending advertisement against this store before
+sending is exactly the vendor difference the paper's lab experiments
+expose (§3): Junos suppresses duplicates, Cisco IOS/IOS-XR and BIRD do
+not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.bgp.attributes import PathAttributes
+from repro.netbase.prefix import Prefix
+from repro.rib.route import Route
+
+
+class AdjRIBIn:
+    """Routes received from one peer, keyed by prefix."""
+
+    __slots__ = ("_routes",)
+
+    def __init__(self):
+        self._routes: Dict[Prefix, Route] = {}
+
+    def install(self, route: Route) -> "Route | None":
+        """Store *route*, returning the entry it replaced (or None)."""
+        previous = self._routes.get(route.prefix)
+        self._routes[route.prefix] = route
+        return previous
+
+    def withdraw(self, prefix: Prefix) -> "Route | None":
+        """Remove the entry for *prefix*, returning it (or None)."""
+        return self._routes.pop(prefix, None)
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        """The stored route for *prefix*, or None."""
+        return self._routes.get(prefix)
+
+    def prefixes(self) -> "list[Prefix]":
+        """All prefixes currently present (snapshot list)."""
+        return list(self._routes)
+
+    def clear(self) -> "list[Prefix]":
+        """Drop everything (session reset); return affected prefixes."""
+        prefixes = list(self._routes)
+        self._routes.clear()
+        return prefixes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+
+class AdjRIBOut:
+    """Attributes last advertised to one peer, keyed by prefix.
+
+    The store distinguishes three states per prefix:
+
+    * absent — never advertised (or withdrawn);
+    * present — advertised with the stored attributes.
+    """
+
+    __slots__ = ("_advertised",)
+
+    def __init__(self):
+        self._advertised: Dict[Prefix, PathAttributes] = {}
+
+    def record_advertisement(
+        self, prefix: Prefix, attributes: PathAttributes
+    ) -> None:
+        """Remember that *prefix* was advertised with *attributes*."""
+        self._advertised[prefix] = attributes
+
+    def record_withdrawal(self, prefix: Prefix) -> bool:
+        """Forget *prefix*; True when it had been advertised."""
+        return self._advertised.pop(prefix, None) is not None
+
+    def last_advertised(self, prefix: Prefix) -> Optional[PathAttributes]:
+        """Attributes most recently sent for *prefix*, or None."""
+        return self._advertised.get(prefix)
+
+    def is_advertised(self, prefix: Prefix) -> bool:
+        """True when *prefix* is currently advertised to the peer."""
+        return prefix in self._advertised
+
+    def prefixes(self) -> "list[Prefix]":
+        """All advertised prefixes (snapshot list)."""
+        return list(self._advertised)
+
+    def clear(self) -> "list[Prefix]":
+        """Drop everything (session reset); return affected prefixes."""
+        prefixes = list(self._advertised)
+        self._advertised.clear()
+        return prefixes
+
+    def __len__(self) -> int:
+        return len(self._advertised)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._advertised

@@ -1,0 +1,173 @@
+"""The BGP decision process (RFC 4271 §9.1.2.2 + universal tie breakers).
+
+Step order, matching what Cisco IOS, Junos and BIRD all implement in
+practice:
+
+1.  Highest LOCAL_PREF (default 100 when absent).
+2.  Shortest AS path (AS_SET counts as one hop).
+3.  Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+4.  Lowest MED, compared only between routes from the same neighbor AS
+    (``always_compare_med`` widens this to all routes, as the Cisco
+    knob of the same name does).
+5.  Prefer eBGP-learned over iBGP-learned.
+6.  Lowest IGP cost to the BGP next hop (hot-potato routing — this is
+    the step that flips Y1's choice from Y2 to Y3 in the paper's Exp1
+    when the Y1–Y2 link dies).
+7.  Lowest BGP router ID of the advertising router.
+8.  Lowest peer address.
+
+The process is deterministic: given the same candidate set it always
+returns the same winner, which the property-based tests exploit.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.rib.route import Route, RouteSource
+
+
+@dataclass(frozen=True)
+class DecisionConfig:
+    """Knobs altering the decision process."""
+
+    #: Compare MED across neighbor ASes (Cisco ``always-compare-med``).
+    always_compare_med: bool = False
+    #: Ignore the router-id step and prefer the oldest route instead
+    #: (Cisco's default eBGP behavior; disabled here by default to keep
+    #: runs deterministic under replay).
+    prefer_oldest: bool = False
+
+
+class DecisionProcess:
+    """Select the best route among candidates for one prefix."""
+
+    def __init__(self, config: "DecisionConfig | None" = None):
+        self._config = config or DecisionConfig()
+
+    @property
+    def config(self) -> DecisionConfig:
+        """The active configuration."""
+        return self._config
+
+    def select(self, candidates: Iterable[Route]) -> Optional[Route]:
+        """Return the best route, or None when no candidate exists.
+
+        Candidates must all be for the same prefix; this is asserted
+        because mixing prefixes is always a caller bug.
+        """
+        pool = [route for route in candidates if route is not None]
+        if not pool:
+            return None
+        prefixes = {route.prefix for route in pool}
+        if len(prefixes) > 1:
+            raise ValueError(
+                f"decision over mixed prefixes: {sorted(map(str, prefixes))}"
+            )
+        pool = self._filter_local_pref(pool)
+        pool = self._filter_path_length(pool)
+        pool = self._filter_origin(pool)
+        pool = self._filter_med(pool)
+        pool = self._filter_ebgp(pool)
+        pool = self._filter_igp_cost(pool)
+        if len(pool) > 1 and self._config.prefer_oldest:
+            oldest = min(route.learned_at for route in pool)
+            pool = [r for r in pool if r.learned_at == oldest]
+        pool = self._filter_router_id(pool)
+        pool = self._filter_peer_address(pool)
+        return pool[0]
+
+    def ranking(self, candidates: Iterable[Route]) -> "list[Route]":
+        """Return candidates ordered best-first (for path exploration).
+
+        Produced by repeatedly removing the winner; quadratic, but the
+        candidate sets are per-prefix and tiny.
+        """
+        remaining = [route for route in candidates if route is not None]
+        ordered: list = []
+        while remaining:
+            best = self.select(remaining)
+            ordered.append(best)
+            remaining = [r for r in remaining if r is not best]
+        return ordered
+
+    # ------------------------------------------------------------------
+    # individual steps — each keeps only the surviving candidates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _filter_local_pref(pool: Sequence[Route]) -> "list[Route]":
+        best = max(route.effective_local_pref for route in pool)
+        return [r for r in pool if r.effective_local_pref == best]
+
+    @staticmethod
+    def _filter_path_length(pool: Sequence[Route]) -> "list[Route]":
+        best = min(route.attributes.as_path.length() for route in pool)
+        return [r for r in pool if r.attributes.as_path.length() == best]
+
+    @staticmethod
+    def _filter_origin(pool: Sequence[Route]) -> "list[Route]":
+        best = min(route.attributes.origin for route in pool)
+        return [r for r in pool if r.attributes.origin == best]
+
+    def _filter_med(self, pool: Sequence[Route]) -> "list[Route]":
+        if len(pool) < 2:
+            return list(pool)
+        if self._config.always_compare_med:
+            best = min(route.effective_med for route in pool)
+            return [r for r in pool if r.effective_med == best]
+        # Standard semantics: eliminate a route only when a same-
+        # neighbor-AS rival has strictly lower MED.
+        survivors = []
+        for route in pool:
+            beaten = any(
+                other.neighbor_asn == route.neighbor_asn
+                and other.effective_med < route.effective_med
+                for other in pool
+                if other is not route and other.neighbor_asn is not None
+            )
+            if not beaten:
+                survivors.append(route)
+        return survivors
+
+    @staticmethod
+    def _filter_ebgp(pool: Sequence[Route]) -> "list[Route]":
+        if any(route.source == RouteSource.EBGP for route in pool):
+            kept = [r for r in pool if r.source == RouteSource.EBGP]
+            # LOCAL routes rank above eBGP in real tables, but local
+            # routes only meet learned routes at the originating router
+            # where they always win on weight; model that here.
+            local = [r for r in pool if r.source == RouteSource.LOCAL]
+            return local or kept
+        local = [r for r in pool if r.source == RouteSource.LOCAL]
+        return local or list(pool)
+
+    @staticmethod
+    def _filter_igp_cost(pool: Sequence[Route]) -> "list[Route]":
+        best = min(route.igp_cost for route in pool)
+        return [r for r in pool if r.igp_cost == best]
+
+    @staticmethod
+    def _filter_router_id(pool: Sequence[Route]) -> "list[Route]":
+        def router_id_key(route: Route):
+            if route.peer_id is None:
+                return (0, 0)  # local routes sort first
+            try:
+                return (1, int(ipaddress.IPv4Address(route.peer_id)))
+            except ipaddress.AddressValueError:
+                return (2, hash(route.peer_id) & 0xFFFFFFFF)
+
+        best = min(router_id_key(route) for route in pool)
+        return [r for r in pool if router_id_key(r) == best]
+
+    @staticmethod
+    def _filter_peer_address(pool: Sequence[Route]) -> "list[Route]":
+        def address_key(route: Route):
+            if route.peer_address is None:
+                return (0, 0)
+            parsed = ipaddress.ip_address(route.peer_address)
+            return (parsed.version, int(parsed))
+
+        pool = sorted(pool, key=address_key)
+        return [pool[0]]

@@ -1,0 +1,44 @@
+"""The Loc-RIB: the router's selected best route per prefix."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.netbase.prefix import Prefix
+from repro.rib.route import Route
+
+
+class LocRIB:
+    """Best routes selected by the decision process, keyed by prefix."""
+
+    __slots__ = ("_best",)
+
+    def __init__(self):
+        self._best: Dict[Prefix, Route] = {}
+
+    def install(self, route: Route) -> "Route | None":
+        """Install *route* as best, returning the replaced entry."""
+        previous = self._best.get(route.prefix)
+        self._best[route.prefix] = route
+        return previous
+
+    def remove(self, prefix: Prefix) -> "Route | None":
+        """Remove the best route for *prefix*, returning it."""
+        return self._best.pop(prefix, None)
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        """The current best route, or None when unreachable."""
+        return self._best.get(prefix)
+
+    def prefixes(self) -> "list[Prefix]":
+        """All reachable prefixes (snapshot list)."""
+        return list(self._best)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._best
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._best.values())

@@ -1,0 +1,189 @@
+"""The route object stored in RIBs.
+
+A :class:`Route` binds a prefix to a set of path attributes plus the
+*local* metadata the decision process needs but the wire never carries:
+which peer the route came from, whether the session was eBGP or iBGP,
+the IGP cost to the next hop, and when it was learned.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.bgp.attributes import PathAttributes
+from repro.netbase.asn import ASN
+from repro.netbase.prefix import Prefix
+
+#: LOCAL_PREF assumed when the attribute is absent (RFC 4271 default
+#: behavior is implementation-defined; 100 is the universal default).
+DEFAULT_LOCAL_PREF = 100
+
+
+class RouteSource(enum.Enum):
+    """How a route entered the RIB."""
+
+    EBGP = "ebgp"
+    IBGP = "ibgp"
+    LOCAL = "local"  # originated by this router (static/network statement)
+
+
+class Route:
+    """One candidate path for one prefix.
+
+    Routes are immutable; policy transforms produce new instances via
+    :meth:`with_attributes`.
+    """
+
+    __slots__ = (
+        "_prefix",
+        "_attributes",
+        "_source",
+        "_peer_id",
+        "_peer_asn",
+        "_peer_address",
+        "_igp_cost",
+        "_learned_at",
+    )
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        attributes: PathAttributes,
+        *,
+        source: RouteSource = RouteSource.LOCAL,
+        peer_id: Optional[str] = None,
+        peer_asn: Optional[int] = None,
+        peer_address: Optional[str] = None,
+        igp_cost: int = 0,
+        learned_at: float = 0.0,
+    ):
+        self._prefix = prefix
+        self._attributes = attributes
+        self._source = source
+        self._peer_id = peer_id
+        self._peer_asn = ASN(peer_asn) if peer_asn is not None else None
+        self._peer_address = peer_address
+        self._igp_cost = int(igp_cost)
+        self._learned_at = float(learned_at)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def prefix(self) -> Prefix:
+        """The destination prefix."""
+        return self._prefix
+
+    @property
+    def attributes(self) -> PathAttributes:
+        """The path attributes."""
+        return self._attributes
+
+    @property
+    def source(self) -> RouteSource:
+        """eBGP, iBGP or locally originated."""
+        return self._source
+
+    @property
+    def peer_id(self) -> Optional[str]:
+        """Router ID of the advertising peer (None for local routes)."""
+        return self._peer_id
+
+    @property
+    def peer_asn(self) -> "ASN | None":
+        """ASN of the advertising peer."""
+        return self._peer_asn
+
+    @property
+    def peer_address(self) -> Optional[str]:
+        """Session address of the advertising peer."""
+        return self._peer_address
+
+    @property
+    def igp_cost(self) -> int:
+        """IGP distance to the BGP next hop (hot-potato input)."""
+        return self._igp_cost
+
+    @property
+    def learned_at(self) -> float:
+        """Timestamp when the route was (last) installed."""
+        return self._learned_at
+
+    @property
+    def effective_local_pref(self) -> int:
+        """LOCAL_PREF, defaulting when the attribute is absent."""
+        local_pref = self._attributes.local_pref
+        return DEFAULT_LOCAL_PREF if local_pref is None else local_pref
+
+    @property
+    def effective_med(self) -> int:
+        """MED, treating absence as 0 (the common vendor default)."""
+        med = self._attributes.med
+        return 0 if med is None else med
+
+    @property
+    def neighbor_asn(self) -> "ASN | None":
+        """First ASN in the AS path (for MED comparability)."""
+        return self._attributes.as_path.first_asn
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_attributes(self, attributes: PathAttributes) -> "Route":
+        """Return a copy carrying different attributes."""
+        return Route(
+            self._prefix,
+            attributes,
+            source=self._source,
+            peer_id=self._peer_id,
+            peer_asn=self._peer_asn,
+            peer_address=self._peer_address,
+            igp_cost=self._igp_cost,
+            learned_at=self._learned_at,
+        )
+
+    def with_igp_cost(self, igp_cost: int) -> "Route":
+        """Return a copy with a different IGP cost to the next hop."""
+        return Route(
+            self._prefix,
+            self._attributes,
+            source=self._source,
+            peer_id=self._peer_id,
+            peer_asn=self._peer_asn,
+            peer_address=self._peer_address,
+            igp_cost=igp_cost,
+            learned_at=self._learned_at,
+        )
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def same_announcement(self, other: "Route") -> bool:
+        """True when prefix and attributes (wire content) are equal."""
+        return (
+            self._prefix == other._prefix
+            and self._attributes == other._attributes
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Route):
+            return NotImplemented
+        return (
+            self._prefix == other._prefix
+            and self._attributes == other._attributes
+            and self._source == other._source
+            and self._peer_id == other._peer_id
+            and self._igp_cost == other._igp_cost
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._prefix, self._attributes, self._source, self._peer_id)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Route({self._prefix}, path='{self._attributes.as_path}',"
+            f" source={self._source.value}, peer={self._peer_id})"
+        )

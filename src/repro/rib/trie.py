@@ -1,0 +1,211 @@
+"""A binary prefix trie for longest-prefix match and overlap queries.
+
+The paper's cleaning step notes "we did not aggregate overlapping
+prefixes" — implying the tooling must *know* which prefixes overlap in
+order to decide not to.  This trie provides that, plus the
+longest-prefix-match lookup a forwarding-plane check needs, and
+covering/covered queries used when validating more-specific
+announcements against registry allocations (:mod:`repro.workloads.
+registry` uses linear scans for its handful of blocks; the trie is the
+scalable path and is exercised against it in the property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.netbase.prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self):
+        self.children: "List[Optional[_Node]]" = [None, None]
+        self.value: "V | None" = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps prefixes to values with trie-based queries.
+
+    Separate trees per IP version; keys are exact prefixes.
+
+    >>> trie = PrefixTrie()
+    >>> trie[Prefix("10.0.0.0/8")] = "block"
+    >>> trie.longest_match(Prefix("10.2.3.0/24"))
+    (Prefix('10.0.0.0/8'), 'block')
+    """
+
+    def __init__(self):
+        self._roots: Dict[int, _Node] = {4: _Node(), 6: _Node()}
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value at *prefix*."""
+        node = self._roots[prefix.version]
+        for bit in prefix.iter_host_bits():
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> "V | None":
+        """Remove *prefix*; returns its value (None when absent).
+
+        Dead branches are pruned so memory stays proportional to the
+        stored set.
+        """
+        path: List[Tuple[_Node, int]] = []
+        node = self._roots[prefix.version]
+        for bit in prefix.iter_host_bits():
+            child = node.children[bit]
+            if child is None:
+                return None
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return None
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        # Prune empty leaves bottom-up.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child.has_value or any(child.children):
+                break
+            parent.children[bit] = None
+        return value
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, prefix: Prefix) -> "V | None":
+        """Exact-match lookup."""
+        node = self._walk(prefix)
+        return node.value if node is not None and node.has_value else None
+
+    def longest_match(
+        self, prefix: Prefix
+    ) -> "Tuple[Prefix, V] | None":
+        """The most specific stored prefix covering *prefix*."""
+        node = self._roots[prefix.version]
+        best: "Tuple[int, V] | None" = None
+        depth = 0
+        if node.has_value:
+            best = (0, node.value)  # the default route
+        for bit in prefix.iter_host_bits():
+            node = node.children[bit]
+            if node is None:
+                break
+            depth += 1
+            if node.has_value:
+                best = (depth, node.value)
+        if best is None:
+            return None
+        length, value = best
+        mask_shift = prefix.max_bits - length
+        network = (prefix.network >> mask_shift) << mask_shift
+        return (
+            Prefix.from_int(network, length, prefix.version),
+            value,
+        )
+
+    def covered_by(self, prefix: Prefix) -> "Iterator[Tuple[Prefix, V]]":
+        """All stored prefixes equal to or more specific than *prefix*."""
+        node = self._walk(prefix)
+        if node is None:
+            return
+        truncated = (
+            prefix.network >> (prefix.max_bits - prefix.length)
+            if prefix.length
+            else 0
+        )
+        yield from self._iter_subtree(
+            node, truncated, prefix.length, prefix.version
+        )
+
+    def covering(self, prefix: Prefix) -> "Iterator[Tuple[Prefix, V]]":
+        """All stored prefixes equal to or less specific than *prefix*."""
+        node = self._roots[prefix.version]
+        depth = 0
+        if node.has_value:
+            yield Prefix.from_int(0, 0, prefix.version), node.value
+        for bit in prefix.iter_host_bits():
+            node = node.children[bit]
+            if node is None:
+                return
+            depth += 1
+            if node.has_value:
+                shift = prefix.max_bits - depth
+                network = (prefix.network >> shift) << shift
+                yield (
+                    Prefix.from_int(network, depth, prefix.version),
+                    node.value,
+                )
+
+    def overlaps(self, prefix: Prefix) -> bool:
+        """True when any stored prefix overlaps *prefix*."""
+        if next(self.covering(prefix), None) is not None:
+            return True
+        return next(self.covered_by(prefix), None) is not None
+
+    # ------------------------------------------------------------------
+    # iteration / dunder
+    # ------------------------------------------------------------------
+    def items(self) -> "Iterator[Tuple[Prefix, V]]":
+        """All (prefix, value) pairs, v4 first, lexicographic."""
+        for version in (4, 6):
+            yield from self._iter_subtree(
+                self._roots[version], 0, 0, version
+            )
+
+    def _walk(self, prefix: Prefix) -> "Optional[_Node]":
+        node = self._roots[prefix.version]
+        for bit in prefix.iter_host_bits():
+            node = node.children[bit]
+            if node is None:
+                return None
+        return node
+
+    def _iter_subtree(
+        self, node: _Node, network: int, depth: int, version: int
+    ) -> "Iterator[Tuple[Prefix, V]]":
+        max_bits = 32 if version == 4 else 128
+        if node.has_value:
+            shifted = network << (max_bits - depth) if depth else 0
+            yield Prefix.from_int(shifted, depth, version), node.value
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                yield from self._iter_subtree(
+                    child, (network << 1) | bit, depth + 1, version
+                )
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        value = self.get(prefix)
+        if value is None and not self.__contains__(prefix):
+            raise KeyError(str(prefix))
+        return value  # type: ignore[return-value]
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._walk(prefix)
+        return node is not None and node.has_value
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"PrefixTrie(size={self._size})"

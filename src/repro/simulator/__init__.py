@@ -1,0 +1,44 @@
+"""Discrete-event BGP network simulator.
+
+The simulator plays the role of the paper's laboratory (real router
+images wired into the Figure 1 topology) *and* of the Internet that
+RouteViews/RIS observe.  Routers implement the full RFC 4271 pipeline —
+Adj-RIB-In, import policy, decision process, Loc-RIB, export policy,
+Adj-RIB-Out — with vendor-specific duplicate suppression from
+:mod:`repro.vendors`, so the paper's update phenomena *emerge* from the
+mechanics instead of being scripted.
+"""
+
+from repro.simulator.events import EventQueue, ScheduledEvent
+from repro.simulator.link import Link
+from repro.simulator.session import BGPSession, SessionKind
+from repro.simulator.router import Router
+from repro.simulator.collector import RouteCollector, CollectedMessage
+from repro.simulator.damping import DampingConfig, RouteDamper
+from repro.simulator.network import Network
+from repro.simulator.experiments import (
+    LabTopology,
+    ExperimentResult,
+    run_experiment,
+    run_all_experiments,
+    EXPERIMENTS,
+)
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "Link",
+    "BGPSession",
+    "SessionKind",
+    "Router",
+    "RouteCollector",
+    "CollectedMessage",
+    "Network",
+    "DampingConfig",
+    "RouteDamper",
+    "LabTopology",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all_experiments",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,149 @@
+"""Route collectors: the measurement apparatus.
+
+A :class:`RouteCollector` mimics a RouteViews / RIPE RIS collector: it
+peers with routers (multihop eBGP), never advertises anything, and
+archives every received message with its arrival timestamp and session
+envelope.  Records can be exported as genuine MRT bytes via
+:meth:`RouteCollector.dump_mrt`, optionally at whole-second resolution
+to emulate the legacy collectors whose data the paper's cleaning step
+must disambiguate (§4).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, List, Optional
+
+from repro.bgp.message import BGPMessage, UpdateMessage
+from repro.mrt.records import Bgp4mpMessage
+from repro.mrt.writer import MRTWriter
+from repro.netbase.asn import ASN
+from repro.simulator.session import BGPSession
+
+
+@dataclass(frozen=True)
+class CollectedMessage:
+    """One archived message with its session envelope."""
+
+    timestamp: float
+    collector: str
+    peer_asn: ASN
+    peer_address: str
+    message: BGPMessage
+
+    @property
+    def is_update(self) -> bool:
+        """True when the message is an UPDATE."""
+        return isinstance(self.message, UpdateMessage)
+
+    def session_key(self) -> "tuple[int, str]":
+        """The (peer ASN, peer address) pair identifying the session."""
+        return (int(self.peer_asn), self.peer_address)
+
+
+class RouteCollector:
+    """A passive BGP listener that archives everything it hears."""
+
+    def __init__(self, network, name: str, asn: int = 12_456):
+        self._network = network
+        self.name = name
+        self.asn = ASN(asn)
+        self.router_id = f"198.51.100.{1 + (hash(name) % 200)}"
+        self._sessions: List[BGPSession] = []
+        self._records: List[CollectedMessage] = []
+
+    # ------------------------------------------------------------------
+    # node protocol (same duck type as Router)
+    # ------------------------------------------------------------------
+    def attach_session(self, session: BGPSession, **_ignored) -> None:
+        """Register a collector session."""
+        self._sessions.append(session)
+
+    def receive(self, session: BGPSession, message: BGPMessage) -> None:
+        """Archive an inbound message."""
+        peer = session.other(self)
+        self._records.append(
+            CollectedMessage(
+                timestamp=self._network.queue.now,
+                collector=self.name,
+                peer_asn=ASN(peer.asn),
+                peer_address=session.peer_address(self),
+                message=message,
+            )
+        )
+
+    def session_down(self, session: BGPSession) -> None:
+        """Collectors keep their archive across session churn."""
+
+    def session_up(self, session: BGPSession) -> None:
+        """Collectors never advertise, so nothing to resend."""
+
+    # ------------------------------------------------------------------
+    # archive access
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> "list[CollectedMessage]":
+        """Every archived message in arrival order."""
+        return list(self._records)
+
+    @property
+    def sessions(self) -> "list[BGPSession]":
+        """The collector's peering sessions."""
+        return list(self._sessions)
+
+    def updates(self) -> Iterator[CollectedMessage]:
+        """Archived records that carry an UPDATE message."""
+        return (record for record in self._records if record.is_update)
+
+    def clear(self) -> int:
+        """Drop the archive (between experiment phases)."""
+        count = len(self._records)
+        self._records.clear()
+        return count
+
+    def message_count(self) -> int:
+        """Number of archived messages."""
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # MRT export
+    # ------------------------------------------------------------------
+    def to_bgp4mp(self) -> Iterator[Bgp4mpMessage]:
+        """View the archive as MRT-ready records."""
+        local_address = "198.51.100.250"
+        for record in self._records:
+            yield Bgp4mpMessage(
+                timestamp=record.timestamp,
+                peer_asn=int(record.peer_asn),
+                local_asn=int(self.asn),
+                peer_address=record.peer_address,
+                local_address=local_address,
+                message=record.message,
+            )
+
+    def dump_mrt(
+        self,
+        stream: Optional[BinaryIO] = None,
+        *,
+        extended_timestamps: bool = True,
+    ) -> bytes:
+        """Write the archive as MRT; returns the bytes when unbuffered.
+
+        ``extended_timestamps=False`` emulates legacy collectors that
+        record at whole-second granularity.
+        """
+        own_buffer = stream is None
+        target = stream if stream is not None else io.BytesIO()
+        writer = MRTWriter(target, extended_timestamps=extended_timestamps)
+        for record in self.to_bgp4mp():
+            writer.write_bgp4mp(record)
+        if own_buffer:
+            return target.getvalue()  # type: ignore[union-attr]
+        return b""
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteCollector({self.name}, sessions={len(self._sessions)},"
+            f" records={len(self._records)})"
+        )

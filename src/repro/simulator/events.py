@@ -1,0 +1,124 @@
+"""Event queue driving the simulation.
+
+A classic discrete-event core: a heap of ``(time, sequence, action)``
+entries.  The sequence number breaks ties deterministically in
+insertion order, which matters because BGP convergence outcomes can
+depend on message ordering and the whole reproduction must be
+replayable from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netbase.timebase import SimClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One queued action; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Time-ordered queue of simulation events."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._heap: "list[ScheduledEvent]" = []
+        self._sequence = 0
+        self._processed = 0
+
+    @property
+    def clock(self) -> SimClock:
+        """The simulation clock this queue advances."""
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of (possibly cancelled) queued events."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self, delay: float, action: Callable[[], None]
+    ) -> ScheduledEvent:
+        """Queue *action* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._clock.now + delay, action)
+
+    def schedule_at(
+        self, when: float, action: Callable[[], None]
+    ) -> ScheduledEvent:
+        """Queue *action* to run at absolute time *when*."""
+        if when < self._clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {when} < {self._clock.now}"
+            )
+        event = ScheduledEvent(when, self._sequence, action)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Execute events in time order.
+
+        Stops when the queue is empty, when the next event is after
+        *until*, or after *max_events* executions (a convergence-loop
+        backstop).  Returns the number of events executed.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            heapq.heappop(self._heap)
+            self._clock.advance_to(head.time)
+            head.action()
+            executed += 1
+            self._processed += 1
+        if until is not None and self._clock.now < until:
+            self._clock.advance_to(until)
+        return executed
+
+    def run_until_idle(self, *, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded by *max_events*)."""
+        executed = self.run(max_events=max_events)
+        if self._live_pending():
+            raise RuntimeError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return executed
+
+    def _live_pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)

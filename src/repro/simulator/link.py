@@ -1,0 +1,63 @@
+"""Physical links carrying BGP sessions.
+
+The lab experiments "disable the Y1 to Y2 link" — a physical failure
+that takes the iBGP session riding it down with it.  A :class:`Link`
+groups the sessions riding one physical adjacency so failure and
+recovery affect them together.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.simulator.session import BGPSession
+
+
+class Link:
+    """A physical adjacency between two nodes."""
+
+    def __init__(self, name: str, sessions: Iterable[BGPSession] = ()):
+        self.name = name
+        self._sessions: List[BGPSession] = list(sessions)
+        self._up = True
+
+    @property
+    def sessions(self) -> "list[BGPSession]":
+        """Sessions riding this link."""
+        return list(self._sessions)
+
+    @property
+    def is_up(self) -> bool:
+        """Current link state."""
+        return self._up
+
+    def attach(self, session: BGPSession) -> None:
+        """Ride *session* over this link."""
+        self._sessions.append(session)
+        if not self._up:
+            session.bring_down()
+
+    def fail(self) -> None:
+        """Take the link (and every session on it) down."""
+        if not self._up:
+            return
+        self._up = False
+        for session in self._sessions:
+            session.bring_down()
+
+    def restore(self) -> None:
+        """Bring the link and its sessions back up."""
+        if self._up:
+            return
+        self._up = True
+        for session in self._sessions:
+            session.bring_up()
+
+    def flap(self, network, *, down_for: float) -> None:
+        """Fail now and schedule restoration after *down_for* seconds."""
+        self.fail()
+        network.queue.schedule(down_for, self.restore)
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "down"
+        return f"Link({self.name}, {state}, sessions={len(self._sessions)})"

@@ -1,0 +1,454 @@
+"""The simulated BGP router.
+
+Implements the full RFC 4271 route-processing pipeline:
+
+    session → Adj-RIB-In (post import policy) → decision process
+            → Loc-RIB → per-peer export policy → Adj-RIB-Out → session
+
+The paper's central mechanism lives in :meth:`Router._advertise`:
+when the Loc-RIB entry for a prefix changes *in any way* (including
+purely internal detail such as the next hop after an iBGP failover),
+the router recomputes the egress attributes for every peer.  If the
+egress attributes are identical to what was previously sent, the vendor
+profile decides: Junos suppresses (Adj-RIB-Out comparison), Cisco and
+BIRD emit an exact duplicate — the `nn` updates measured in §5-§6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.constants import OriginCode
+from repro.bgp.message import BGPMessage, UpdateMessage
+from repro.netbase.asn import ASN
+from repro.netbase.prefix import Prefix
+from repro.policy.actions import honor_no_export
+from repro.policy.engine import PolicyContext, RoutingPolicy
+from repro.rib.adj_rib import AdjRIBIn, AdjRIBOut
+from repro.rib.decision import DecisionConfig, DecisionProcess
+from repro.rib.loc_rib import LocRIB
+from repro.rib.route import Route, RouteSource
+from repro.simulator.session import BGPSession, SessionKind
+from repro.vendors.profiles import CISCO_IOS, VendorProfile
+
+
+class Router:
+    """One BGP speaker inside one AS."""
+
+    def __init__(
+        self,
+        network,
+        name: str,
+        asn: int,
+        router_id: str,
+        *,
+        vendor: VendorProfile = CISCO_IOS,
+        decision_config: "DecisionConfig | None" = None,
+        transparent: bool = False,
+    ):
+        self._network = network
+        self.name = name
+        self.asn = ASN(asn)
+        self.router_id = router_id
+        self.vendor = vendor
+        #: Transparent speakers (IXP route servers) do not prepend
+        #: their own ASN on eBGP export — the collector-side ambiguity
+        #: the paper's cleaning step repairs (§4).
+        self.transparent = bool(transparent)
+        self._decision = DecisionProcess(decision_config)
+        self._sessions: List[BGPSession] = []
+        self._adj_rib_in: Dict[int, AdjRIBIn] = {}
+        self._adj_rib_out: Dict[int, AdjRIBOut] = {}
+        self._policies: Dict[int, RoutingPolicy] = {}
+        self._ingress_points: Dict[int, str] = {}
+        self._loc_rib = LocRIB()
+        self._local_routes: Dict[Prefix, Route] = {}
+        self._mrai_pending: Dict[int, Set[Prefix]] = {}
+        self._mrai_timer_armed: Set[int] = set()
+        #: Counters for the analysis layer.
+        self.sent_updates = 0
+        self.sent_withdrawals = 0
+        self.received_updates = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_session(
+        self,
+        session: BGPSession,
+        *,
+        policy: "RoutingPolicy | None" = None,
+        ingress_point: Optional[str] = None,
+    ) -> None:
+        """Register a session endpoint on this router."""
+        self._sessions.append(session)
+        key = session.session_id
+        self._adj_rib_in[key] = AdjRIBIn()
+        self._adj_rib_out[key] = AdjRIBOut()
+        self._policies[key] = policy or RoutingPolicy.permissive()
+        if ingress_point is not None:
+            self._ingress_points[key] = ingress_point
+        self._mrai_pending[key] = set()
+
+    def set_policy(self, session: BGPSession, policy: RoutingPolicy) -> None:
+        """Replace the routing policy for *session*."""
+        self._policies[session.session_id] = policy
+
+    def policy_for(self, session: BGPSession) -> RoutingPolicy:
+        """The routing policy applied on *session*."""
+        return self._policies[session.session_id]
+
+    @property
+    def sessions(self) -> "list[BGPSession]":
+        """All attached sessions."""
+        return list(self._sessions)
+
+    @property
+    def loc_rib(self) -> LocRIB:
+        """The router's selected best routes."""
+        return self._loc_rib
+
+    def adj_rib_in(self, session: BGPSession) -> AdjRIBIn:
+        """Inbound RIB for *session*."""
+        return self._adj_rib_in[session.session_id]
+
+    def adj_rib_out(self, session: BGPSession) -> AdjRIBOut:
+        """Outbound RIB for *session*."""
+        return self._adj_rib_out[session.session_id]
+
+    # ------------------------------------------------------------------
+    # route origination
+    # ------------------------------------------------------------------
+    def originate(
+        self,
+        prefix: Prefix,
+        *,
+        med: Optional[int] = None,
+        communities=None,
+    ) -> None:
+        """Originate *prefix* from this router (network statement)."""
+        attributes = PathAttributes(
+            origin=OriginCode.IGP,
+            med=med,
+            communities=communities,
+            next_hop=self.router_id,
+        )
+        route = Route(
+            prefix,
+            attributes,
+            source=RouteSource.LOCAL,
+            peer_id=None,
+            learned_at=self._network.queue.now,
+        )
+        self._local_routes[prefix] = route
+        self._reconsider(prefix)
+
+    def withdraw_origination(self, prefix: Prefix) -> None:
+        """Stop originating *prefix* (beacon withdraw phase)."""
+        if self._local_routes.pop(prefix, None) is not None:
+            self._reconsider(prefix)
+
+    def originated_prefixes(self) -> "list[Prefix]":
+        """Prefixes this router currently originates."""
+        return list(self._local_routes)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def receive(self, session: BGPSession, message: BGPMessage) -> None:
+        """Process one inbound message from *session*."""
+        if not isinstance(message, UpdateMessage):
+            return
+        self.received_updates += 1
+        rib_in = self._adj_rib_in[session.session_id]
+        dirty: Set[Prefix] = set()
+        for prefix in message.withdrawn:
+            if rib_in.withdraw(prefix) is not None:
+                dirty.add(prefix)
+        if message.announced:
+            assert message.attributes is not None
+            for prefix in message.announced:
+                changed = self._import_route(
+                    session, rib_in, prefix, message.attributes
+                )
+                if changed:
+                    dirty.add(prefix)
+        for prefix in sorted(dirty):
+            self._reconsider(prefix)
+
+    def _import_route(
+        self,
+        session: BGPSession,
+        rib_in: AdjRIBIn,
+        prefix: Prefix,
+        attributes: PathAttributes,
+    ) -> bool:
+        """Run import processing; True when Adj-RIB-In changed."""
+        peer = session.other(self)
+        if session.is_ebgp and attributes.as_path.contains(self.asn):
+            # AS-path loop: RFC 4271 mandates rejection.  Treat like a
+            # withdrawal when the peer previously advertised the prefix.
+            return rib_in.withdraw(prefix) is not None
+        context = PolicyContext(
+            local_asn=self.asn,
+            peer_asn=ASN(peer.asn),
+            prefix=prefix,
+            ingress_point=self._ingress_points.get(session.session_id),
+            is_ebgp=session.is_ebgp,
+        )
+        imported = self._policies[session.session_id].import_chain.apply(
+            attributes, context
+        )
+        if imported is None:
+            return rib_in.withdraw(prefix) is not None
+        if session.is_ebgp:
+            # eBGP ingress: next hop becomes the peer's session address;
+            # LOCAL_PREF is never accepted from an external neighbor.
+            imported = imported.replace(
+                next_hop=session.peer_address(self), local_pref=None
+            )
+        route = Route(
+            prefix,
+            imported,
+            source=(
+                RouteSource.EBGP if session.is_ebgp else RouteSource.IBGP
+            ),
+            peer_id=getattr(peer, "router_id", peer.name),
+            peer_asn=peer.asn,
+            peer_address=session.peer_address(self),
+            igp_cost=self._igp_cost_via(session),
+            learned_at=self._network.queue.now,
+        )
+        previous = rib_in.get(prefix)
+        if previous is not None and previous == route:
+            return False
+        rib_in.install(route)
+        return True
+
+    def _igp_cost_via(self, session: BGPSession) -> int:
+        """IGP distance to a next hop reached through *session*."""
+        return self._network.igp_cost(self, session)
+
+    # ------------------------------------------------------------------
+    # decision + propagation
+    # ------------------------------------------------------------------
+    def _reconsider(self, prefix: Prefix) -> None:
+        """Re-run the decision process for *prefix* and propagate."""
+        candidates: List[Route] = []
+        local = self._local_routes.get(prefix)
+        if local is not None:
+            candidates.append(local)
+        for session in self._sessions:
+            if not session.established:
+                continue
+            route = self._adj_rib_in[session.session_id].get(prefix)
+            if route is not None:
+                candidates.append(route)
+        best = self._decision.select(candidates)
+        previous = self._loc_rib.get(prefix)
+        if best is None:
+            if previous is not None:
+                self._loc_rib.remove(prefix)
+                self._propagate_withdrawal(prefix)
+            return
+        if previous is not None and previous == best:
+            return
+        self._loc_rib.install(best)
+        self._propagate_route(prefix, best)
+
+    def _propagate_route(self, prefix: Prefix, route: Route) -> None:
+        """Advertise the (new) best route to every eligible peer."""
+        for session in self._sessions:
+            if not session.established:
+                continue
+            if not self._may_export(route, session):
+                self._withdraw_from_peer(session, prefix)
+                continue
+            egress = self._export_attributes(route, session)
+            if egress is None:
+                self._withdraw_from_peer(session, prefix)
+                continue
+            self._advertise(session, prefix, egress)
+
+    def _propagate_withdrawal(self, prefix: Prefix) -> None:
+        """Withdraw *prefix* from every peer that had it."""
+        for session in self._sessions:
+            if not session.established:
+                continue
+            self._withdraw_from_peer(session, prefix)
+
+    def _may_export(self, route: Route, session: BGPSession) -> bool:
+        """Scoping rules that precede export policy."""
+        peer = session.other(self)
+        # Never advertise back to the router the route came from.
+        if route.peer_id is not None and route.peer_id == getattr(
+            peer, "router_id", peer.name
+        ):
+            return False
+        # Full-mesh iBGP: iBGP-learned routes stay put.
+        if route.source == RouteSource.IBGP and not session.is_ebgp:
+            return False
+        if not honor_no_export(route.attributes, is_ebgp=session.is_ebgp):
+            return False
+        return True
+
+    def _export_attributes(
+        self, route: Route, session: BGPSession
+    ) -> "PathAttributes | None":
+        """Compute the attributes as they would appear on the wire."""
+        peer = session.other(self)
+        attributes = route.attributes
+        if session.is_ebgp:
+            if not self.transparent:
+                attributes = attributes.with_prepend(self.asn)
+            attributes = attributes.replace(
+                next_hop=session.local_address(self),
+                local_pref=None,
+            )
+            if (
+                self.vendor.reset_med_on_ebgp_export
+                and route.source != RouteSource.LOCAL
+                and attributes.med is not None
+            ):
+                # MED is non-transitive: it crosses exactly one AS
+                # border.  A locally-originated MED is sent to the
+                # neighbor; a received MED is never re-exported.
+                attributes = attributes.replace(med=None)
+        else:
+            # iBGP: preserve next hop (no next-hop-self by default) and
+            # make LOCAL_PREF explicit for the internal peer.
+            if attributes.local_pref is None:
+                attributes = attributes.replace(local_pref=100)
+            if attributes.next_hop is None:
+                attributes = attributes.replace(next_hop=self.router_id)
+        context = PolicyContext(
+            local_asn=self.asn,
+            peer_asn=ASN(peer.asn),
+            prefix=route.prefix,
+            is_ebgp=session.is_ebgp,
+        )
+        return self._policies[session.session_id].export_chain.apply(
+            attributes, context
+        )
+
+    def _advertise(
+        self, session: BGPSession, prefix: Prefix, egress: PathAttributes
+    ) -> None:
+        """Send (or suppress) one advertisement, honoring MRAI."""
+        rib_out = self._adj_rib_out[session.session_id]
+        previous = rib_out.last_advertised(prefix)
+        if previous is not None and previous == egress:
+            if self.vendor.suppress_duplicate_advertisements:
+                return
+            # Duplicate advertisement: identical to the previous one.
+            # RFC 4271 says SHOULD NOT; Cisco/BIRD send it anyway.
+        if session.mrai_wait(self) > 0:
+            self._stage_mrai(session, prefix)
+            return
+        rib_out.record_advertisement(prefix, egress)
+        if session.send(self, UpdateMessage.announce(prefix, egress)):
+            self.sent_updates += 1
+            session.mark_advertisement(self)
+
+    def _withdraw_from_peer(self, session: BGPSession, prefix: Prefix) -> None:
+        rib_out = self._adj_rib_out[session.session_id]
+        if not rib_out.record_withdrawal(prefix):
+            return
+        self._mrai_pending[session.session_id].discard(prefix)
+        if session.send(self, UpdateMessage.withdraw(prefix)):
+            self.sent_withdrawals += 1
+
+    # ------------------------------------------------------------------
+    # MRAI pacing
+    # ------------------------------------------------------------------
+    def _stage_mrai(self, session: BGPSession, prefix: Prefix) -> None:
+        key = session.session_id
+        self._mrai_pending[key].add(prefix)
+        if key in self._mrai_timer_armed:
+            return
+        self._mrai_timer_armed.add(key)
+        self._network.queue.schedule(
+            session.mrai_wait(self), lambda: self._flush_mrai(session)
+        )
+
+    def _flush_mrai(self, session: BGPSession) -> None:
+        key = session.session_id
+        self._mrai_timer_armed.discard(key)
+        pending = sorted(self._mrai_pending[key])
+        self._mrai_pending[key].clear()
+        if not session.established:
+            return
+        for prefix in pending:
+            route = self._loc_rib.get(prefix)
+            if route is None:
+                self._withdraw_from_peer(session, prefix)
+                continue
+            if not self._may_export(route, session):
+                self._withdraw_from_peer(session, prefix)
+                continue
+            egress = self._export_attributes(route, session)
+            if egress is None:
+                self._withdraw_from_peer(session, prefix)
+                continue
+            self._advertise(session, prefix, egress)
+
+    def refresh_exports(self, session: BGPSession) -> int:
+        """Re-evaluate all exports on *session* after a policy change.
+
+        Models outbound soft reconfiguration / route refresh: only
+        routes whose egress attributes actually differ from the
+        Adj-RIB-Out entry are re-advertised, so an unchanged policy
+        refresh is silent on the wire.  Returns the number of messages
+        sent.
+        """
+        if not session.established:
+            return 0
+        sent = 0
+        rib_out = self._adj_rib_out[session.session_id]
+        for prefix in sorted(self._loc_rib.prefixes()):
+            route = self._loc_rib.get(prefix)
+            if route is None:
+                continue
+            egress: "PathAttributes | None" = None
+            if self._may_export(route, session):
+                egress = self._export_attributes(route, session)
+            if egress is None:
+                if rib_out.is_advertised(prefix):
+                    self._withdraw_from_peer(session, prefix)
+                    sent += 1
+                continue
+            if rib_out.last_advertised(prefix) == egress:
+                continue
+            self._advertise(session, prefix, egress)
+            sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
+    # session state callbacks
+    # ------------------------------------------------------------------
+    def session_down(self, session: BGPSession) -> None:
+        """Handle session teardown: flush RIBs and re-decide."""
+        key = session.session_id
+        affected = self._adj_rib_in[key].clear()
+        self._adj_rib_out[key].clear()
+        self._mrai_pending[key].clear()
+        for prefix in sorted(affected):
+            self._reconsider(prefix)
+
+    def session_up(self, session: BGPSession) -> None:
+        """Handle session (re-)establishment: send the full table."""
+        for prefix in sorted(self._loc_rib.prefixes()):
+            route = self._loc_rib.get(prefix)
+            if route is None or not self._may_export(route, session):
+                continue
+            egress = self._export_attributes(route, session)
+            if egress is None:
+                continue
+            self._advertise(session, prefix, egress)
+
+    def __repr__(self) -> str:
+        return (
+            f"Router({self.name}, AS{int(self.asn)},"
+            f" vendor='{self.vendor.name}')"
+        )

@@ -1,0 +1,168 @@
+"""BGP sessions between simulated nodes.
+
+A session is a bidirectional message channel with a propagation delay
+and an established/down state.  The session also owns the per-direction
+MRAI (minimum route advertisement interval) state used by the pacing
+ablation — the paper notes MRAI and route-flap damping are only
+selectively deployed, so the default interval is 0 (no pacing).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.bgp.message import BGPMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import Network
+
+
+class SessionKind(enum.Enum):
+    """eBGP crosses AS borders; iBGP stays inside one AS."""
+
+    EBGP = "ebgp"
+    IBGP = "ibgp"
+
+
+class BGPSession:
+    """One BGP session between two nodes (router or collector)."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        network: "Network",
+        node_a,
+        node_b,
+        *,
+        kind: SessionKind,
+        delay: float = 0.01,
+        address_a: Optional[str] = None,
+        address_b: Optional[str] = None,
+        mrai: float = 0.0,
+    ):
+        BGPSession._counter += 1
+        self.session_id = BGPSession._counter
+        self._network = network
+        self._node_a = node_a
+        self._node_b = node_b
+        self.kind = kind
+        self.delay = float(delay)
+        self.mrai = float(mrai)
+        self._address_a = address_a or f"10.{self.session_id >> 8}.{self.session_id & 0xFF}.1"
+        self._address_b = address_b or f"10.{self.session_id >> 8}.{self.session_id & 0xFF}.2"
+        self.established = True
+        #: Per-direction earliest next advertisement time (MRAI state),
+        #: keyed by the sending node.
+        self._next_send_allowed = {id(node_a): 0.0, id(node_b): 0.0}
+        #: Packet-capture hooks: callables ``(time, sender, message)``
+        #: invoked for every message put on the wire.  The lab
+        #: experiments tap the X1–Y1 link with these, mirroring the
+        #: paper's tcpdump between X1 and Y1.
+        self.taps: "list" = []
+
+    # ------------------------------------------------------------------
+    # endpoint bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def node_a(self):
+        """First endpoint."""
+        return self._node_a
+
+    @property
+    def node_b(self):
+        """Second endpoint."""
+        return self._node_b
+
+    @property
+    def is_ebgp(self) -> bool:
+        """True for inter-AS sessions."""
+        return self.kind == SessionKind.EBGP
+
+    def other(self, node):
+        """The endpoint opposite *node*."""
+        if node is self._node_a:
+            return self._node_b
+        if node is self._node_b:
+            return self._node_a
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def local_address(self, node) -> str:
+        """The session address of *node*."""
+        if node is self._node_a:
+            return self._address_a
+        if node is self._node_b:
+            return self._address_b
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def peer_address(self, node) -> str:
+        """The session address of the endpoint opposite *node*."""
+        return self.local_address(self.other(node))
+
+    # ------------------------------------------------------------------
+    # message transport
+    # ------------------------------------------------------------------
+    def send(self, sender, message: BGPMessage) -> bool:
+        """Deliver *message* to the opposite endpoint after the delay.
+
+        Returns False (dropping the message) when the session is down —
+        mirroring TCP teardown: nothing crosses a dead session.
+        """
+        if not self.established:
+            return False
+        receiver = self.other(sender)
+        for tap in self.taps:
+            tap(self._network.queue.now, sender, message)
+        self._network.queue.schedule(
+            self.delay, lambda: self._deliver(receiver, message)
+        )
+        return True
+
+    def _deliver(self, receiver, message: BGPMessage) -> None:
+        if not self.established:
+            return
+        receiver.receive(self, message)
+
+    # ------------------------------------------------------------------
+    # MRAI pacing
+    # ------------------------------------------------------------------
+    def mrai_wait(self, sender) -> float:
+        """Seconds *sender* must still wait before advertising (0 = now)."""
+        if self.mrai <= 0:
+            return 0.0
+        allowed_at = self._next_send_allowed[id(sender)]
+        return max(0.0, allowed_at - self._network.queue.now)
+
+    def mark_advertisement(self, sender) -> None:
+        """Start *sender*'s MRAI window after an advertisement batch."""
+        if self.mrai > 0:
+            self._next_send_allowed[id(sender)] = (
+                self._network.queue.now + self.mrai
+            )
+
+    # ------------------------------------------------------------------
+    # state changes
+    # ------------------------------------------------------------------
+    def bring_down(self) -> None:
+        """Tear the session down and notify both endpoints."""
+        if not self.established:
+            return
+        self.established = False
+        for node in (self._node_a, self._node_b):
+            node.session_down(self)
+
+    def bring_up(self) -> None:
+        """Re-establish the session and trigger initial table exchange."""
+        if self.established:
+            return
+        self.established = True
+        for node in (self._node_a, self._node_b):
+            node.session_up(self)
+
+    def __repr__(self) -> str:
+        state = "up" if self.established else "down"
+        return (
+            f"BGPSession({self._node_a.name}<->{self._node_b.name},"
+            f" {self.kind.value}, {state})"
+        )

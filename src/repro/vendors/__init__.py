@@ -1,0 +1,23 @@
+"""Vendor behavior profiles."""
+
+from repro.vendors.profiles import (
+    VendorProfile,
+    CISCO_IOS,
+    CISCO_IOS_XR,
+    JUNOS,
+    BIRD,
+    BIRD2,
+    ALL_PROFILES,
+    profile_by_name,
+)
+
+__all__ = [
+    "VendorProfile",
+    "CISCO_IOS",
+    "CISCO_IOS_XR",
+    "JUNOS",
+    "BIRD",
+    "BIRD2",
+    "ALL_PROFILES",
+    "profile_by_name",
+]

@@ -1,0 +1,110 @@
+"""A synthetic RIR allocation registry.
+
+The §4 cleaning step needs "current and historical allocation
+information from the regional registries" to drop messages containing
+resources that were unallocated at message time.  This registry records
+(resource, allocation date) pairs, implements the
+:class:`repro.analysis.cleaning.AllocationOracle` protocol, and the
+workload generator deliberately leaves a few ASNs/prefixes out so the
+cleaning path has something to remove.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.netbase.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One allocated resource with its allocation time."""
+
+    resource: str  # "AS64500" or a prefix string
+    allocated_at: float
+
+    def __str__(self) -> str:
+        return f"{self.resource} (since t={self.allocated_at})"
+
+
+class AllocationRegistry:
+    """Allocation oracle with per-resource allocation dates.
+
+    Prefix queries succeed when the exact prefix *or any covering
+    block* was allocated: registries allocate blocks, networks announce
+    more-specifics out of them.
+    """
+
+    def __init__(self):
+        self._asns: Dict[int, float] = {}
+        self._prefix_blocks: Dict[int, "List[tuple]"] = {4: [], 6: []}
+        self._sorted = True
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def allocate_asn(self, asn: int, *, at: float = 0.0) -> None:
+        """Record that *asn* is allocated from time *at* onward."""
+        existing = self._asns.get(int(asn))
+        if existing is None or at < existing:
+            self._asns[int(asn)] = float(at)
+
+    def allocate_prefix(self, prefix: "Prefix | str", *, at: float = 0.0) -> None:
+        """Record that *prefix* (a covering block) is allocated."""
+        resolved = prefix if isinstance(prefix, Prefix) else Prefix(prefix)
+        self._prefix_blocks[resolved.version].append((resolved, float(at)))
+        self._sorted = False
+
+    def allocate_all(
+        self, asns: "list[int]" = (), prefixes: "list" = (), *, at: float = 0.0
+    ) -> None:
+        """Bulk registration convenience."""
+        for asn in asns:
+            self.allocate_asn(asn, at=at)
+        for prefix in prefixes:
+            self.allocate_prefix(prefix, at=at)
+
+    # ------------------------------------------------------------------
+    # oracle protocol
+    # ------------------------------------------------------------------
+    def asn_allocated(self, asn: int, when: float) -> bool:
+        """True when *asn* was allocated at time *when*."""
+        allocated_at = self._asns.get(int(asn))
+        return allocated_at is not None and allocated_at <= when
+
+    def prefix_allocated(self, prefix: Prefix, when: float) -> bool:
+        """True when a block covering *prefix* was allocated by *when*."""
+        for block, allocated_at in self._prefix_blocks[prefix.version]:
+            if allocated_at <= when and block.contains(prefix):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def asn_count(self) -> int:
+        """Number of registered ASNs."""
+        return len(self._asns)
+
+    def prefix_block_count(self) -> int:
+        """Number of registered prefix blocks."""
+        return sum(len(blocks) for blocks in self._prefix_blocks.values())
+
+    def records(self) -> "List[AllocationRecord]":
+        """Every registration as a record list (for reports)."""
+        items: List[AllocationRecord] = [
+            AllocationRecord(f"AS{asn}", at)
+            for asn, at in sorted(self._asns.items())
+        ]
+        for version in (4, 6):
+            for block, at in self._prefix_blocks[version]:
+                items.append(AllocationRecord(str(block), at))
+        return items
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationRegistry(asns={self.asn_count()},"
+            f" blocks={self.prefix_block_count()})"
+        )

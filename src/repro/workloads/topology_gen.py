@@ -1,0 +1,283 @@
+"""Synthetic AS-level topology generation.
+
+Builds a three-tier internet (tier-1 clique, transit providers, stub
+edge networks) with Gao-Rexford relationships and *parallel
+interconnections*: an AS pair may peer over several links in different
+cities.  Parallel links are what makes community exploration visible —
+a transit that geo-tags at ingress will tag the same route differently
+depending on which of the parallel links it arrives over, and path
+exploration walks through them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netbase.prefix import Prefix
+from repro.policy.geo import CONTINENTS, GeoLocation
+
+#: City pool used for interconnection points (continent, country, city).
+CITY_POOL: "Tuple[Tuple[str, str, str], ...]" = (
+    ("europe", "DE", "Frankfurt"),
+    ("europe", "DE", "Berlin"),
+    ("europe", "NL", "Amsterdam"),
+    ("europe", "GB", "London"),
+    ("europe", "FR", "Paris"),
+    ("europe", "AT", "Vienna"),
+    ("europe", "SE", "Stockholm"),
+    ("north-america", "US", "Ashburn"),
+    ("north-america", "US", "Dallas"),
+    ("north-america", "US", "San Jose"),
+    ("north-america", "US", "Chicago"),
+    ("north-america", "US", "Seattle"),
+    ("north-america", "CA", "Toronto"),
+    ("asia", "JP", "Tokyo"),
+    ("asia", "SG", "Singapore"),
+    ("asia", "HK", "Hong Kong"),
+    ("south-america", "BR", "Sao Paulo"),
+    ("africa", "ZA", "Johannesburg"),
+    ("oceania", "AU", "Sydney"),
+)
+
+
+class ASRole(enum.Enum):
+    """Coarse position in the routing hierarchy."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+class Relationship(enum.Enum):
+    """Business relationship from A's point of view toward B."""
+
+    CUSTOMER = "customer"  # B is A's customer
+    PROVIDER = "provider"  # B is A's provider
+    PEER = "peer"
+
+    def inverse(self) -> "Relationship":
+        """The relationship from B's point of view."""
+        if self == Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self == Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+@dataclass
+class ASSpec:
+    """One autonomous system in the generated topology."""
+
+    asn: int
+    role: ASRole
+    name: str
+    #: IPv4/IPv6 prefixes this AS originates.
+    prefixes: "List[Prefix]" = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.role.value})"
+
+
+@dataclass
+class AdjacencySpec:
+    """One AS-level adjacency, possibly over several physical links."""
+
+    asn_a: int
+    asn_b: int
+    #: Relationship from A's point of view toward B.
+    relationship: Relationship
+    #: Interconnection cities, one per parallel link (≥1).
+    cities: "List[GeoLocation]" = field(default_factory=list)
+
+    @property
+    def link_count(self) -> int:
+        """Number of parallel links."""
+        return len(self.cities)
+
+
+@dataclass
+class TopologyParams:
+    """Dial set for :func:`generate_topology`."""
+
+    tier1_count: int = 4
+    transit_count: int = 16
+    stub_count: int = 60
+    #: Providers per transit / stub (multihoming degree range).
+    transit_provider_range: "Tuple[int, int]" = (2, 3)
+    stub_provider_range: "Tuple[int, int]" = (1, 3)
+    #: Lateral peering probability among transits.
+    transit_peering_probability: float = 0.25
+    #: Parallel-link count range for transit-and-above adjacencies.
+    parallel_link_range: "Tuple[int, int]" = (1, 2)
+    #: Prefixes originated per stub / transit / tier1.
+    stub_prefix_range: "Tuple[int, int]" = (1, 3)
+    transit_prefixes: int = 1
+    tier1_prefixes: int = 1
+    #: Fraction of stub prefixes that are IPv6.
+    ipv6_fraction: float = 0.1
+    seed: int = 20200315
+
+
+@dataclass
+class TopologySpec:
+    """The generated topology: ASes plus adjacencies."""
+
+    ases: "Dict[int, ASSpec]"
+    adjacencies: "List[AdjacencySpec]"
+    params: TopologyParams
+
+    def ases_by_role(self, role: ASRole) -> "List[ASSpec]":
+        """All ASes with the given role, ASN-ordered."""
+        return sorted(
+            (spec for spec in self.ases.values() if spec.role == role),
+            key=lambda spec: spec.asn,
+        )
+
+    def all_prefixes(self) -> "List[Prefix]":
+        """Every originated prefix."""
+        out: List[Prefix] = []
+        for spec in sorted(self.ases.values(), key=lambda item: item.asn):
+            out.extend(spec.prefixes)
+        return out
+
+    def adjacency_count(self) -> int:
+        """Number of AS-level adjacencies."""
+        return len(self.adjacencies)
+
+    def session_count(self) -> int:
+        """Number of BGP sessions including parallel links."""
+        return sum(adj.link_count for adj in self.adjacencies)
+
+    def degree(self, asn: int) -> int:
+        """AS-level degree of *asn*."""
+        return sum(
+            1
+            for adj in self.adjacencies
+            if asn in (adj.asn_a, adj.asn_b)
+        )
+
+
+def generate_topology(
+    params: "TopologyParams | None" = None,
+) -> TopologySpec:
+    """Generate a deterministic three-tier topology from a seed."""
+    params = params or TopologyParams()
+    rng = random.Random(params.seed)
+    ases: Dict[int, ASSpec] = {}
+    adjacencies: List[AdjacencySpec] = []
+    next_asn = 3000
+
+    def new_as(role: ASRole, label: str) -> ASSpec:
+        nonlocal next_asn
+        spec = ASSpec(asn=next_asn, role=role, name=label)
+        ases[next_asn] = spec
+        next_asn += rng.randint(1, 40)
+        return spec
+
+    tier1s = [
+        new_as(ASRole.TIER1, f"tier1-{index}")
+        for index in range(params.tier1_count)
+    ]
+    transits = [
+        new_as(ASRole.TRANSIT, f"transit-{index}")
+        for index in range(params.transit_count)
+    ]
+    stubs = [
+        new_as(ASRole.STUB, f"stub-{index}")
+        for index in range(params.stub_count)
+    ]
+
+    def pick_cities(count: int) -> "List[GeoLocation]":
+        chosen = rng.sample(CITY_POOL, count)
+        return [
+            GeoLocation(continent, country, city)
+            for continent, country, city in chosen
+        ]
+
+    def connect(
+        spec_a: ASSpec,
+        spec_b: ASSpec,
+        relationship: Relationship,
+        *,
+        max_links: Optional[int] = None,
+    ) -> None:
+        low, high = params.parallel_link_range
+        if max_links is not None:
+            high = min(high, max_links)
+        link_count = rng.randint(low, max(low, high))
+        adjacencies.append(
+            AdjacencySpec(
+                asn_a=spec_a.asn,
+                asn_b=spec_b.asn,
+                relationship=relationship,
+                cities=pick_cities(link_count),
+            )
+        )
+
+    # Tier-1 clique (peering, multiple parallel links).
+    for index, first in enumerate(tier1s):
+        for second in tier1s[index + 1 :]:
+            connect(first, second, Relationship.PEER)
+
+    # Transits buy from several tier-1s.
+    for transit in transits:
+        low, high = params.transit_provider_range
+        providers = rng.sample(tier1s, min(rng.randint(low, high), len(tier1s)))
+        for provider in providers:
+            connect(transit, provider, Relationship.PROVIDER)
+
+    # Lateral transit peering.
+    for index, first in enumerate(transits):
+        for second in transits[index + 1 :]:
+            if rng.random() < params.transit_peering_probability:
+                connect(first, second, Relationship.PEER, max_links=2)
+
+    # Stubs buy from transits (occasionally straight from a tier-1).
+    for stub in stubs:
+        low, high = params.stub_provider_range
+        count = rng.randint(low, high)
+        pool = transits if rng.random() < 0.9 else tier1s
+        providers = rng.sample(pool, min(count, len(pool)))
+        for provider in providers:
+            connect(stub, provider, Relationship.PROVIDER, max_links=2)
+
+    _assign_prefixes(rng, params, tier1s, transits, stubs)
+    return TopologySpec(ases=ases, adjacencies=adjacencies, params=params)
+
+
+def _assign_prefixes(rng, params, tier1s, transits, stubs) -> None:
+    """Give every AS its originated prefixes (deterministic layout)."""
+    v4_block = 0
+    v6_block = 0
+
+    def next_v4() -> Prefix:
+        nonlocal v4_block
+        prefix = Prefix.from_int(
+            (100 << 24) | (v4_block << 8), 24, 4
+        )
+        v4_block += 1
+        return prefix
+
+    def next_v6() -> Prefix:
+        nonlocal v6_block
+        network = (0x2001_0DB8 << 96) | (v6_block << 80)
+        prefix = Prefix.from_int(network, 48, 6)
+        v6_block += 1
+        return prefix
+
+    for spec in tier1s:
+        for _ in range(params.tier1_prefixes):
+            spec.prefixes.append(next_v4())
+    for spec in transits:
+        for _ in range(params.transit_prefixes):
+            spec.prefixes.append(next_v4())
+    for spec in stubs:
+        low, high = params.stub_prefix_range
+        for _ in range(rng.randint(low, high)):
+            if rng.random() < params.ipv6_fraction:
+                spec.prefixes.append(next_v6())
+            else:
+                spec.prefixes.append(next_v4())

@@ -1,0 +1,150 @@
+"""Unit tests for nn root-cause attribution."""
+
+import pytest
+
+from repro.analysis.duplicates import (
+    DuplicateAttributor,
+    DuplicateCause,
+    attribute_duplicates,
+)
+from repro.analysis.observations import (
+    Observation,
+    ObservationKind,
+    SessionKey,
+)
+from repro.bgp import ASPath, CommunitySet
+from repro.netbase import Prefix, parse_utc
+
+SESSION = SessionKey("rrc00", 20205, "10.0.0.1")
+PREFIX = Prefix("84.205.64.0/24")
+DAY = parse_utc("2020-03-15")
+WITHDRAW_PHASE = DAY + 2 * 3600
+QUIET_TIME = DAY + 3600  # outside any beacon phase
+
+
+def announce(t, path="20811 3356 12654", communities=""):
+    return Observation(
+        timestamp=t,
+        session=SESSION,
+        prefix=PREFIX,
+        kind=ObservationKind.ANNOUNCE,
+        as_path=ASPath.from_string(path),
+        communities=CommunitySet.parse(communities),
+    )
+
+
+def withdraw(t):
+    return Observation(
+        timestamp=t,
+        session=SESSION,
+        prefix=PREFIX,
+        kind=ObservationKind.WITHDRAW,
+    )
+
+
+class TestAttribution:
+    def test_post_withdrawal_duplicate_is_session_reset(self):
+        report = attribute_duplicates(
+            [
+                announce(QUIET_TIME),
+                withdraw(QUIET_TIME + 100),
+                announce(QUIET_TIME + 110),  # identical re-announcement
+            ]
+        )
+        assert report.counts[DuplicateCause.SESSION_RESET] == 1
+
+    def test_cleaned_exploration_in_withdraw_phase(self):
+        report = attribute_duplicates(
+            [
+                announce(DAY + 60),
+                announce(WITHDRAW_PHASE + 60),
+                announce(WITHDRAW_PHASE + 70),
+            ]
+        )
+        # Two duplicates; both in the withdrawal phase on a
+        # community-free stream, no preceding withdrawal.
+        assert report.counts[DuplicateCause.CLEANED_EXPLORATION] == 2
+
+    def test_quiet_time_duplicate_is_med_or_internal(self):
+        report = attribute_duplicates(
+            [announce(QUIET_TIME), announce(QUIET_TIME + 500)]
+        )
+        assert report.counts[DuplicateCause.MED_OR_INTERNAL] == 1
+
+    def test_community_bearing_stream_is_not_cleaned_exploration(self):
+        report = attribute_duplicates(
+            [
+                announce(DAY + 60, communities="3356:1"),
+                announce(WITHDRAW_PHASE + 60, communities="3356:1"),
+            ]
+        )
+        assert report.counts[DuplicateCause.CLEANED_EXPLORATION] == 0
+        assert report.counts[DuplicateCause.UNKNOWN] == 1
+
+    def test_reset_window_boundary(self):
+        attributor = DuplicateAttributor()
+        attributor.observe(announce(QUIET_TIME))
+        attributor.observe(withdraw(QUIET_TIME + 100))
+        # Far outside the reset window: not a reset.
+        cause = attributor.observe(
+            announce(QUIET_TIME + 100 + attributor.RESET_WINDOW + 200)
+        )
+        assert cause == DuplicateCause.MED_OR_INTERNAL
+
+    def test_non_duplicates_are_not_attributed(self):
+        report = attribute_duplicates(
+            [
+                announce(QUIET_TIME),
+                announce(QUIET_TIME + 10, path="20811 6939 12654"),  # pn
+            ]
+        )
+        assert report.total == 0
+
+    def test_report_shares(self):
+        report = attribute_duplicates(
+            [
+                announce(QUIET_TIME),
+                announce(QUIET_TIME + 500),
+                announce(QUIET_TIME + 1000),
+            ]
+        )
+        assert report.total == 2
+        assert report.share(DuplicateCause.MED_OR_INTERNAL) == 1.0
+        rows = report.as_rows()
+        assert any(
+            row[0] == "med_or_internal" and row[1] == 2 for row in rows
+        )
+
+    def test_empty_report(self):
+        report = attribute_duplicates([])
+        assert report.total == 0
+        assert report.share(DuplicateCause.UNKNOWN) == 0.0
+
+
+class TestIntegrationWithGenerators:
+    """The synthetic internet's nn generators land in their buckets."""
+
+    @pytest.fixture(scope="class")
+    def small_day(self):
+        from repro.workloads import InternetConfig, InternetModel
+
+        return InternetModel(InternetConfig.small()).run()
+
+    def test_attribution_covers_most_duplicates(self, small_day):
+        from repro.analysis import observations_from_collector
+
+        observations = []
+        for collector in small_day.collectors():
+            observations.extend(
+                observations_from_collector(collector)
+            )
+        observations.sort(key=lambda obs: obs.timestamp)
+        report = attribute_duplicates(observations)
+        assert report.total > 0
+        # The three understood causes should dominate over unknown.
+        understood = (
+            report.share(DuplicateCause.SESSION_RESET)
+            + report.share(DuplicateCause.CLEANED_EXPLORATION)
+            + report.share(DuplicateCause.MED_OR_INTERNAL)
+        )
+        assert understood > 0.5

@@ -1,0 +1,235 @@
+"""Unit tests for §6 exploration/revealed-information analysis."""
+
+import pytest
+
+from repro.analysis import (
+    CommunityExplorationDetector,
+    RevealedInfoAnalysis,
+    group_into_streams,
+    label_phases,
+)
+from repro.analysis.classify import AnnouncementType
+from repro.analysis.exploration import stream_phase_activity
+from repro.analysis.observations import (
+    Observation,
+    ObservationKind,
+    SessionKey,
+)
+from repro.analysis.revealed import revealed_communities
+from repro.beacons import PhaseKind
+from repro.bgp import ASPath, CommunitySet
+from repro.netbase import Prefix, parse_utc
+
+SESSION = SessionKey("rrc00", 20205, "10.0.0.1")
+PREFIX = Prefix("84.205.64.0/24")
+DAY = parse_utc("2020-03-15")
+WITHDRAW_PHASE = DAY + 2 * 3600  # 02:00
+ANNOUNCE_PHASE = DAY + 4 * 3600  # 04:00
+
+
+def announce(t, path, communities=""):
+    return Observation(
+        timestamp=t,
+        session=SESSION,
+        prefix=PREFIX,
+        kind=ObservationKind.ANNOUNCE,
+        as_path=ASPath.from_string(path),
+        communities=CommunitySet.parse(communities),
+    )
+
+
+def withdraw(t):
+    return Observation(
+        timestamp=t,
+        session=SESSION,
+        prefix=PREFIX,
+        kind=ObservationKind.WITHDRAW,
+    )
+
+
+def exploration_burst(base, *, cleaner=False):
+    """The Figure 4 (or, with cleaner=True, Figure 5) burst shape."""
+    if cleaner:
+        return [
+            announce(base + 10, "20811 3356 174 12654"),
+            announce(base + 20, "20811 3356 174 12654"),
+            announce(base + 30, "20811 3356 174 12654"),
+            withdraw(base + 60),
+        ]
+    return [
+        announce(base + 10, "20205 3356 174 12654", "3356:301"),
+        announce(base + 20, "20205 3356 174 12654", "3356:302"),
+        announce(base + 30, "20205 3356 174 12654", "3356:303"),
+        withdraw(base + 60),
+    ]
+
+
+class TestLabelPhases:
+    def test_phases_assigned(self):
+        labeled = label_phases(
+            [
+                announce(DAY + 60, "1 2"),
+                announce(WITHDRAW_PHASE + 60, "1 3"),
+                announce(DAY + 3600, "1 4"),
+            ]
+        )
+        assert [item.phase for item in labeled] == [
+            PhaseKind.ANNOUNCE,
+            PhaseKind.WITHDRAW,
+            PhaseKind.OUTSIDE,
+        ]
+
+    def test_withdrawals_not_included(self):
+        labeled = label_phases([withdraw(DAY + 60)])
+        assert labeled == []
+
+
+class TestStreamActivity:
+    def test_cumulative_series(self):
+        stream = [
+            announce(DAY, "20205 6939 12654", "6939:1"),
+            *exploration_burst(WITHDRAW_PHASE),
+        ]
+        activity = stream_phase_activity(stream)
+        assert activity.total_announcements == 3  # first is unclassified
+        series = activity.cumulative_series()
+        nc_series = series[AnnouncementType.NC]
+        assert [count for _, count in nc_series] == [1, 2]
+        assert len(activity.withdrawals) == 1
+
+    def test_type_counts(self):
+        stream = [
+            announce(DAY, "20205 6939 12654", "6939:1"),
+            *exploration_burst(WITHDRAW_PHASE),
+        ]
+        counts = stream_phase_activity(stream).type_counts()
+        assert counts[AnnouncementType.PC] == 1
+        assert counts[AnnouncementType.NC] == 2
+
+
+class TestExplorationDetector:
+    def _streams(self, observations):
+        return group_into_streams(observations)
+
+    def test_detects_community_exploration(self):
+        observations = [
+            announce(DAY, "20205 6939 12654", "6939:1"),
+            *exploration_burst(WITHDRAW_PHASE),
+        ]
+        events = CommunityExplorationDetector().detect(
+            self._streams(observations)
+        )
+        assert len(events) == 1
+        event = events[0]
+        assert event.is_community_exploration
+        assert event.spurious_count == 2
+        assert event.distinct_communities == 3
+
+    def test_detects_duplicate_burst(self):
+        observations = [
+            announce(DAY, "20811 6939 12654"),
+            *exploration_burst(WITHDRAW_PHASE, cleaner=True),
+        ]
+        events = CommunityExplorationDetector().detect(
+            self._streams(observations)
+        )
+        assert len(events) == 1
+        assert events[0].is_duplicate_burst
+
+    def test_ignores_bursts_outside_withdraw_phase(self):
+        observations = [
+            announce(DAY, "20205 6939 12654", "6939:1"),
+            *exploration_burst(DAY + 3600),  # outside any phase
+        ]
+        events = CommunityExplorationDetector().detect(
+            self._streams(observations)
+        )
+        assert events == []
+
+    def test_burst_gap_splits_events(self):
+        detector = CommunityExplorationDetector(burst_gap=5.0)
+        observations = [
+            announce(DAY, "20205 6939 12654", "6939:1"),
+            announce(WITHDRAW_PHASE + 10, "20205 3356 174 12654", "3356:301"),
+            announce(WITHDRAW_PHASE + 12, "20205 3356 174 12654", "3356:302"),
+            # 100s gap: outside the burst window.
+            announce(WITHDRAW_PHASE + 112, "20205 3356 174 12654", "3356:303"),
+        ]
+        events = detector.detect(self._streams(observations))
+        assert len(events) == 1
+        assert events[0].spurious_count == 1
+
+    def test_min_spurious_threshold(self):
+        detector = CommunityExplorationDetector(min_spurious=3)
+        observations = [
+            announce(DAY, "20205 6939 12654", "6939:1"),
+            *exploration_burst(WITHDRAW_PHASE),  # only 2 spurious
+        ]
+        assert detector.detect(self._streams(observations)) == []
+
+    def test_multiple_phases_yield_multiple_events(self):
+        observations = [announce(DAY, "20205 6939 12654", "6939:1")]
+        for cycle in range(3):
+            observations.extend(
+                exploration_burst(WITHDRAW_PHASE + cycle * 4 * 3600)
+            )
+        events = CommunityExplorationDetector().detect(
+            self._streams(observations)
+        )
+        assert len(events) == 3
+
+
+class TestRevealedInfo:
+    def test_withdrawal_exclusive_attribute(self):
+        result = revealed_communities(
+            [
+                announce(DAY + 60, "1 2", "3356:100"),
+                announce(WITHDRAW_PHASE + 60, "1 2", "3356:301"),
+                announce(WITHDRAW_PHASE + 70, "1 2", "3356:302"),
+            ]
+        )
+        assert result.total_unique == 3
+        assert result.exclusively_withdrawal == 2
+        assert result.exclusively_announcement == 1
+        assert result.withdrawal_ratio == pytest.approx(2 / 3)
+
+    def test_ambiguous_attribute(self):
+        result = revealed_communities(
+            [
+                announce(DAY + 60, "1 2", "3356:100"),
+                announce(WITHDRAW_PHASE + 60, "1 2", "3356:100"),
+            ]
+        )
+        assert result.total_unique == 1
+        assert result.ambiguous == 1
+        assert result.withdrawal_ratio == 0.0
+
+    def test_empty_attributes_ignored(self):
+        result = revealed_communities([announce(DAY + 60, "1 2", "")])
+        assert result.total_unique == 0
+
+    def test_outside_phase(self):
+        result = revealed_communities(
+            [announce(DAY + 3600, "1 2", "3356:9")]
+        )
+        assert result.exclusively_outside == 1
+
+    def test_withdrawals_do_not_reveal(self):
+        analysis = RevealedInfoAnalysis()
+        analysis.observe(withdraw(WITHDRAW_PHASE + 60))
+        assert analysis.result().total_unique == 0
+
+    def test_phases_of(self):
+        analysis = RevealedInfoAnalysis()
+        analysis.observe(announce(WITHDRAW_PHASE + 60, "1 2", "3356:301"))
+        phases = analysis.phases_of(CommunitySet.parse("3356:301"))
+        assert phases == {PhaseKind.WITHDRAW}
+        assert analysis.phases_of(CommunitySet.parse("9:9")) is None
+
+    def test_as_rows(self):
+        result = revealed_communities(
+            [announce(WITHDRAW_PHASE + 60, "1 2", "3356:301")]
+        )
+        rows = result.as_rows()
+        assert rows[0] == ("total unique", 1, 1.0)
+        assert rows[1][1] == 1  # exclusively withdrawal

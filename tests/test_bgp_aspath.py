@@ -1,0 +1,138 @@
+"""Unit tests for repro.bgp.aspath."""
+
+import pytest
+
+from repro.bgp import ASPath, PathSegment, SegmentType
+from repro.bgp.errors import AttributeError_
+from repro.netbase import ASN
+
+
+class TestConstruction:
+    def test_from_asns(self):
+        path = ASPath.from_asns([20205, 3356, 174, 12654])
+        assert path.first_asn == ASN(20205)
+        assert path.origin_asn == ASN(12654)
+        assert path.hop_count() == 4
+
+    def test_from_string_simple(self):
+        path = ASPath.from_string("20205 3356 174 12654")
+        assert path == ASPath.from_asns([20205, 3356, 174, 12654])
+
+    def test_from_string_with_as_set(self):
+        path = ASPath.from_string("100 200 {300,400}")
+        assert len(path.segments) == 2
+        assert path.segments[1].is_set
+
+    def test_empty(self):
+        assert ASPath.empty().is_empty()
+        assert ASPath.empty().first_asn is None
+        assert ASPath.empty().origin_asn is None
+        assert ASPath.from_asns([]).is_empty()
+
+    def test_segment_rejects_empty(self):
+        with pytest.raises(AttributeError_):
+            PathSegment(SegmentType.AS_SEQUENCE, [])
+
+    def test_segment_rejects_overlong(self):
+        with pytest.raises(AttributeError_):
+            PathSegment(SegmentType.AS_SEQUENCE, range(1, 257))
+
+    def test_rejects_non_segments(self):
+        with pytest.raises(AttributeError_):
+            ASPath(("not a segment",))  # type: ignore[arg-type]
+
+
+class TestLength:
+    def test_sequence_length(self):
+        assert ASPath.from_asns([1, 2, 3]).length() == 3
+
+    def test_as_set_counts_as_one(self):
+        path = ASPath.from_string("100 {200,300}")
+        assert path.length() == 2
+        assert path.hop_count() == 3
+
+    def test_prepending_increases_length(self):
+        path = ASPath.from_asns([1, 2])
+        assert path.prepend(1).length() == 3
+
+
+class TestPrepend:
+    def test_prepend_merges_into_sequence(self):
+        path = ASPath.from_asns([2, 3]).prepend(1)
+        assert path.asns() == (ASN(1), ASN(2), ASN(3))
+        assert len(path.segments) == 1
+
+    def test_prepend_count(self):
+        path = ASPath.from_asns([2]).prepend(1, 3)
+        assert path.asns() == (ASN(1), ASN(1), ASN(1), ASN(2))
+
+    def test_prepend_onto_empty(self):
+        path = ASPath.empty().prepend(9)
+        assert path.asns() == (ASN(9),)
+
+    def test_prepend_before_as_set(self):
+        path = ASPath((PathSegment(SegmentType.AS_SET, [5, 6]),)).prepend(1)
+        assert path.segments[0].kind == SegmentType.AS_SEQUENCE
+        assert path.segments[1].is_set
+
+    def test_prepend_rejects_zero_count(self):
+        with pytest.raises(AttributeError_):
+            ASPath.from_asns([1]).prepend(2, 0)
+
+
+class TestPrependDetection:
+    def test_distinct_ases_collapses_runs(self):
+        path = ASPath.from_asns([1, 1, 1, 2, 3, 3])
+        assert path.distinct_ases() == (ASN(1), ASN(2), ASN(3))
+
+    def test_without_prepending(self):
+        path = ASPath.from_asns([1, 1, 2])
+        assert path.without_prepending() == ASPath.from_asns([1, 2])
+
+    def test_is_prepend_variant(self):
+        base = ASPath.from_asns([1, 2, 3])
+        prepended = ASPath.from_asns([1, 1, 2, 3])
+        assert prepended.is_prepend_variant_of(base)
+        assert base.is_prepend_variant_of(prepended)
+
+    def test_equal_paths_are_not_variants(self):
+        base = ASPath.from_asns([1, 2])
+        assert not base.is_prepend_variant_of(ASPath.from_asns([1, 2]))
+
+    def test_different_paths_are_not_variants(self):
+        first = ASPath.from_asns([1, 2, 3])
+        second = ASPath.from_asns([1, 4, 3])
+        assert not first.is_prepend_variant_of(second)
+
+    def test_has_prepending(self):
+        assert ASPath.from_asns([1, 1, 2]).has_prepending()
+        assert not ASPath.from_asns([1, 2, 1]).has_prepending()
+
+
+class TestSemantics:
+    def test_contains_for_loop_detection(self):
+        path = ASPath.from_asns([20205, 3356, 174])
+        assert path.contains(3356)
+        assert not path.contains(12654)
+
+    def test_as_set_equality_is_unordered(self):
+        first = PathSegment(SegmentType.AS_SET, [1, 2])
+        second = PathSegment(SegmentType.AS_SET, [2, 1])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_sequence_equality_is_ordered(self):
+        first = PathSegment(SegmentType.AS_SEQUENCE, [1, 2])
+        second = PathSegment(SegmentType.AS_SEQUENCE, [2, 1])
+        assert first != second
+
+    def test_str_rendering(self):
+        path = ASPath.from_string("100 200 {300,400}")
+        assert str(path) == "100 200 {300,400}"
+
+    def test_iteration_yields_segments(self):
+        path = ASPath.from_string("100 {200,300}")
+        assert [segment.is_set for segment in path] == [False, True]
+
+    def test_len_counts_hops(self):
+        assert len(ASPath.from_asns([1, 1, 2])) == 3

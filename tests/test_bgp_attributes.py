@@ -1,0 +1,161 @@
+"""Unit tests for repro.bgp.attributes and messages."""
+
+import pytest
+
+from repro.bgp import (
+    ASPath,
+    CommunitySet,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    Origin,
+    PathAttributes,
+    UpdateMessage,
+)
+from repro.bgp.errors import AttributeError_, MessageError
+from repro.netbase import ASN, Prefix
+
+
+def make_attrs(**overrides):
+    defaults = dict(
+        as_path=ASPath.from_string("20205 3356 174 12654"),
+        next_hop="10.0.0.1",
+        communities=CommunitySet.parse("3356:300"),
+    )
+    defaults.update(overrides)
+    return PathAttributes(**defaults)
+
+
+class TestPathAttributes:
+    def test_defaults(self):
+        attrs = PathAttributes()
+        assert attrs.origin == Origin.IGP
+        assert attrs.as_path.is_empty()
+        assert attrs.communities.is_empty()
+        assert attrs.med is None
+        assert attrs.local_pref is None
+
+    def test_replace_changes_one_field(self):
+        attrs = make_attrs()
+        updated = attrs.replace(med=50)
+        assert updated.med == 50
+        assert updated.as_path == attrs.as_path
+        assert attrs.med is None  # original untouched
+
+    def test_replace_can_clear_optional(self):
+        attrs = make_attrs(med=10)
+        assert attrs.replace(med=None).med is None
+
+    def test_replace_rejects_unknown_field(self):
+        with pytest.raises(AttributeError_):
+            make_attrs().replace(color="blue")
+
+    def test_with_communities(self):
+        updated = make_attrs().with_communities(CommunitySet.parse("1:1"))
+        assert updated.communities == CommunitySet.parse("1:1")
+
+    def test_with_prepend(self):
+        updated = make_attrs().with_prepend(64500, 2)
+        assert updated.as_path.asns()[:2] == (ASN(64500), ASN(64500))
+
+    def test_with_next_hop(self):
+        assert make_attrs().with_next_hop("10.9.9.9").next_hop == "10.9.9.9"
+
+    def test_med_range_validation(self):
+        with pytest.raises(AttributeError_):
+            PathAttributes(med=-1)
+        with pytest.raises(AttributeError_):
+            PathAttributes(local_pref=2**32)
+
+    def test_equality_covers_all_fields(self):
+        assert make_attrs() == make_attrs()
+        assert make_attrs() != make_attrs(med=1)
+        assert make_attrs() != make_attrs(next_hop="10.0.0.2")
+
+    def test_hashable(self):
+        assert len({make_attrs(), make_attrs()}) == 1
+
+    def test_same_path_and_communities_ignores_next_hop_and_med(self):
+        base = make_attrs()
+        assert base.same_path_and_communities(
+            make_attrs(next_hop="10.0.0.2", med=99)
+        )
+        assert not base.same_path_and_communities(
+            make_attrs(communities=CommunitySet.empty())
+        )
+        assert not base.same_path_and_communities(
+            make_attrs(as_path=ASPath.from_string("20205 3356"))
+        )
+
+    def test_repr_mentions_key_fields(self):
+        rendered = repr(make_attrs(med=5))
+        assert "med=5" in rendered
+        assert "3356" in rendered
+
+
+class TestUpdateMessage:
+    def test_announce(self):
+        update = UpdateMessage.announce(
+            Prefix("84.205.64.0/24"), make_attrs()
+        )
+        assert update.is_announcement
+        assert not update.is_withdrawal
+        assert update.announced == (Prefix("84.205.64.0/24"),)
+
+    def test_withdraw(self):
+        update = UpdateMessage.withdraw(Prefix("84.205.64.0/24"))
+        assert update.is_withdrawal
+        assert update.attributes is None
+
+    def test_mixed(self):
+        update = UpdateMessage(
+            announced=[Prefix("10.0.0.0/8")],
+            withdrawn=[Prefix("11.0.0.0/8")],
+            attributes=make_attrs(),
+        )
+        assert update.is_announcement and update.is_withdrawal
+
+    def test_rejects_announce_without_attributes(self):
+        with pytest.raises(MessageError):
+            UpdateMessage(announced=[Prefix("10.0.0.0/8")])
+
+    def test_rejects_empty_update(self):
+        with pytest.raises(MessageError):
+            UpdateMessage()
+
+    def test_rejects_non_prefix(self):
+        with pytest.raises(MessageError):
+            UpdateMessage(withdrawn=["10.0.0.0/8"])  # type: ignore[list-item]
+
+    def test_equality(self):
+        first = UpdateMessage.announce(Prefix("10.0.0.0/8"), make_attrs())
+        second = UpdateMessage.announce(Prefix("10.0.0.0/8"), make_attrs())
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestOtherMessages:
+    def test_open_fields(self):
+        message = OpenMessage(65000, "192.0.2.1", 180)
+        assert message.asn == ASN(65000)
+        assert message.hold_time == 180
+        assert message.version == 4
+
+    def test_open_rejects_forbidden_hold_time(self):
+        with pytest.raises(MessageError):
+            OpenMessage(65000, "192.0.2.1", 1)
+        with pytest.raises(MessageError):
+            OpenMessage(65000, "192.0.2.1", 70000)
+
+    def test_keepalive_equality(self):
+        assert KeepaliveMessage() == KeepaliveMessage()
+
+    def test_notification(self):
+        message = NotificationMessage(6, 2, b"bye")
+        assert message.code == 6
+        assert message.subcode == 2
+        assert message.data == b"bye"
+
+    def test_notification_rejects_bad_subcode(self):
+        with pytest.raises(MessageError):
+            NotificationMessage(6, 300)

@@ -1,0 +1,161 @@
+"""Unit tests for repro.bgp.community."""
+
+import pytest
+
+from repro.bgp import (
+    BLACKHOLE,
+    Community,
+    CommunitySet,
+    LargeCommunity,
+    NO_ADVERTISE,
+    NO_EXPORT,
+)
+from repro.bgp.errors import AttributeError_
+
+
+class TestCommunity:
+    def test_parse(self):
+        community = Community.parse("3356:300")
+        assert community.asn == 3356
+        assert community.local_value == 300
+
+    def test_of(self):
+        assert Community.of(3356, 300) == Community.parse("3356:300")
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("3356", "a:b", "3356:70000", "70000:1", ":"):
+            with pytest.raises(AttributeError_):
+                Community.parse(bad)
+
+    def test_of_rejects_out_of_range(self):
+        with pytest.raises(AttributeError_):
+            Community.of(0x10000, 1)
+
+    def test_value_range_check(self):
+        with pytest.raises(AttributeError_):
+            Community(-1)
+        with pytest.raises(AttributeError_):
+            Community(2**32)
+
+    def test_wire_roundtrip(self):
+        community = Community.parse("64500:12345")
+        assert Community.from_bytes(community.to_bytes()) == community
+
+    def test_from_bytes_rejects_bad_length(self):
+        with pytest.raises(AttributeError_):
+            Community.from_bytes(b"\x00\x01\x02")
+
+    def test_well_known(self):
+        assert NO_EXPORT.is_well_known
+        assert NO_ADVERTISE.is_well_known
+        assert BLACKHOLE.is_well_known
+        assert str(BLACKHOLE) == "65535:666"
+        assert not Community.parse("3356:300").is_well_known
+
+    def test_reserved_low(self):
+        assert Community.parse("0:1").is_reserved_low
+
+    def test_ordering_and_hash(self):
+        low = Community.parse("1:1")
+        high = Community.parse("2:0")
+        assert low < high
+        assert len({low, Community.parse("1:1")}) == 1
+
+    def test_str_roundtrip(self):
+        assert str(Community.parse("20205:64")) == "20205:64"
+
+
+class TestLargeCommunity:
+    def test_parse(self):
+        large = LargeCommunity.parse("64496:1:2")
+        assert large.global_admin == 64496
+        assert (large.data1, large.data2) == (1, 2)
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("1:2", "1:2:3:4", "a:b:c"):
+            with pytest.raises(AttributeError_):
+                LargeCommunity.parse(bad)
+
+    def test_field_range_check(self):
+        with pytest.raises(AttributeError_):
+            LargeCommunity(2**32, 0, 0)
+
+    def test_wire_roundtrip(self):
+        large = LargeCommunity(4200000000, 7, 9)
+        assert LargeCommunity.from_bytes(large.to_bytes()) == large
+
+    def test_from_bytes_rejects_bad_length(self):
+        with pytest.raises(AttributeError_):
+            LargeCommunity.from_bytes(b"\x00" * 11)
+
+    def test_ordering(self):
+        assert LargeCommunity(1, 0, 0) < LargeCommunity(1, 0, 1)
+
+
+class TestCommunitySet:
+    def test_parse_mixed(self):
+        mixed = CommunitySet.parse("3356:300 64496:1:2 65535:666")
+        assert len(mixed.classic) == 2
+        assert len(mixed.large) == 1
+        assert len(mixed) == 3
+
+    def test_empty_singleton(self):
+        assert CommunitySet.empty().is_empty()
+        assert not CommunitySet.empty()
+        assert CommunitySet.parse("1:1")
+
+    def test_equality_ignores_order(self):
+        first = CommunitySet.parse("1:1 2:2")
+        second = CommunitySet.parse("2:2 1:1")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_add_remove_are_pure(self):
+        base = CommunitySet.parse("1:1")
+        bigger = base.add(Community.parse("2:2"))
+        assert len(base) == 1
+        assert len(bigger) == 2
+        smaller = bigger.remove(Community.parse("1:1"))
+        assert Community.parse("1:1") not in smaller
+
+    def test_remove_missing_is_noop(self):
+        base = CommunitySet.parse("1:1")
+        assert base.remove(Community.parse("9:9")) == base
+
+    def test_union(self):
+        union = CommunitySet.parse("1:1").union(CommunitySet.parse("2:2"))
+        assert union == CommunitySet.parse("1:1 2:2")
+
+    def test_without_asn(self):
+        mixed = CommunitySet.parse("3356:1 3356:2 174:1 3356:5:5")
+        cleaned = mixed.without_asn(3356)
+        assert cleaned == CommunitySet.parse("174:1")
+
+    def test_only_asn(self):
+        mixed = CommunitySet.parse("3356:1 174:1")
+        assert mixed.only_asn(3356) == CommunitySet.parse("3356:1")
+
+    def test_filter(self):
+        mixed = CommunitySet.parse("1:100 1:200")
+        kept = mixed.filter(lambda c: c.local_value >= 200)
+        assert kept == CommunitySet.parse("1:200")
+
+    def test_contains(self):
+        mixed = CommunitySet.parse("1:1 2:2:2")
+        assert Community.parse("1:1") in mixed
+        assert LargeCommunity.parse("2:2:2") in mixed
+        assert Community.parse("9:9") not in mixed
+
+    def test_iteration_is_sorted(self):
+        mixed = CommunitySet.parse("2:2 1:1 3:3:3")
+        rendered = str(mixed)
+        assert rendered == "1:1 2:2 3:3:3"
+
+    def test_rejects_non_communities(self):
+        with pytest.raises(AttributeError_):
+            CommunitySet(classic=("1:1",))  # type: ignore[arg-type]
+        with pytest.raises(AttributeError_):
+            CommunitySet.empty().add("1:1")  # type: ignore[arg-type]
+
+    def test_cleared(self):
+        assert CommunitySet.parse("1:1").cleared().is_empty()

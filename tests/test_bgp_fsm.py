@@ -1,0 +1,153 @@
+"""Unit tests for the BGP session FSM (RFC 4271 §8)."""
+
+import pytest
+
+from repro.bgp.fsm import (
+    FSMError,
+    FSMEvent,
+    FSMState,
+    FSMTimers,
+    SessionFSM,
+    establish,
+)
+
+
+class TestHappyPath:
+    def test_full_establishment_sequence(self):
+        fsm = SessionFSM()
+        assert fsm.state == FSMState.IDLE
+        fsm.handle(FSMEvent.MANUAL_START)
+        assert fsm.state == FSMState.CONNECT
+        fsm.handle(FSMEvent.TCP_CONNECTION_CONFIRMED)
+        assert fsm.state == FSMState.OPEN_SENT
+        assert fsm.opens_sent == 1
+        fsm.handle(FSMEvent.BGP_OPEN_RECEIVED)
+        assert fsm.state == FSMState.OPEN_CONFIRM
+        assert fsm.keepalives_sent == 1
+        fsm.handle(FSMEvent.KEEPALIVE_RECEIVED)
+        assert fsm.is_established
+
+    def test_establish_helper(self):
+        fsm = establish(SessionFSM())
+        assert fsm.is_established
+        assert len(fsm.transitions) == 4
+
+    def test_established_callback_fires_once(self):
+        fired = []
+        fsm = SessionFSM(on_established=lambda: fired.append(1))
+        establish(fsm)
+        assert fired == [1]
+
+    def test_tcp_failure_falls_back_to_active(self):
+        fsm = SessionFSM()
+        fsm.handle(FSMEvent.MANUAL_START)
+        fsm.handle(FSMEvent.TCP_CONNECTION_FAILS)
+        assert fsm.state == FSMState.ACTIVE
+        fsm.handle(FSMEvent.CONNECT_RETRY_EXPIRED)
+        assert fsm.state == FSMState.CONNECT
+
+    def test_active_can_establish_directly(self):
+        fsm = SessionFSM()
+        fsm.handle(FSMEvent.MANUAL_START)
+        fsm.handle(FSMEvent.TCP_CONNECTION_FAILS)
+        fsm.handle(FSMEvent.TCP_CONNECTION_CONFIRMED)
+        assert fsm.state == FSMState.OPEN_SENT
+
+
+class TestSessionMaintenance:
+    def test_keepalives_refresh_established(self):
+        fsm = establish(SessionFSM())
+        fsm.handle(FSMEvent.KEEPALIVE_RECEIVED)
+        fsm.handle(FSMEvent.UPDATE_RECEIVED)
+        assert fsm.is_established
+
+    def test_keepalive_timer_sends_keepalive(self):
+        fsm = establish(SessionFSM())
+        before = fsm.keepalives_sent
+        fsm.handle(FSMEvent.KEEPALIVE_TIMER_EXPIRED)
+        assert fsm.keepalives_sent == before + 1
+        assert fsm.is_established
+
+
+class TestTeardown:
+    def test_hold_timer_expiry_drops_session(self):
+        reasons = []
+        fsm = establish(SessionFSM(on_session_drop=reasons.append))
+        fsm.handle(FSMEvent.HOLD_TIMER_EXPIRED)
+        assert fsm.state == FSMState.IDLE
+        assert fsm.drops == 1
+        assert "hold timer" in reasons[0]
+
+    def test_notification_drops_session(self):
+        fsm = establish(SessionFSM())
+        fsm.handle(FSMEvent.NOTIFICATION_RECEIVED)
+        assert fsm.state == FSMState.IDLE
+
+    def test_tcp_failure_drops_established(self):
+        fsm = establish(SessionFSM())
+        fsm.handle(FSMEvent.TCP_CONNECTION_FAILS)
+        assert fsm.state == FSMState.IDLE
+
+    def test_manual_stop_from_every_live_state(self):
+        for target in ("connect", "opensent", "openconfirm", "established"):
+            fsm = SessionFSM()
+            fsm.handle(FSMEvent.MANUAL_START)
+            if target != "connect":
+                fsm.handle(FSMEvent.TCP_CONNECTION_CONFIRMED)
+            if target in ("openconfirm", "established"):
+                fsm.handle(FSMEvent.BGP_OPEN_RECEIVED)
+            if target == "established":
+                fsm.handle(FSMEvent.KEEPALIVE_RECEIVED)
+            fsm.handle(FSMEvent.MANUAL_STOP)
+            assert fsm.state == FSMState.IDLE, target
+
+    def test_restart_after_drop(self):
+        fsm = establish(SessionFSM())
+        fsm.handle(FSMEvent.HOLD_TIMER_EXPIRED)
+        establish(fsm)
+        assert fsm.is_established
+
+
+class TestErrorHandling:
+    def test_unexpected_event_follows_catch_all_to_idle(self):
+        fsm = SessionFSM()
+        fsm.handle(FSMEvent.MANUAL_START)  # Connect
+        fsm.handle(FSMEvent.UPDATE_RECEIVED)  # illegal in Connect
+        assert fsm.state == FSMState.IDLE
+        assert fsm.drops == 1
+
+    def test_ignorable_events_are_noops(self):
+        fsm = SessionFSM()
+        fsm.handle(FSMEvent.HOLD_TIMER_EXPIRED)  # Idle: ignorable
+        assert fsm.state == FSMState.IDLE
+        assert fsm.drops == 0
+
+    def test_manual_start_in_established_is_noop(self):
+        fsm = establish(SessionFSM())
+        fsm.handle(FSMEvent.MANUAL_START)
+        assert fsm.is_established
+
+    def test_establish_helper_raises_on_failure(self):
+        class Broken(SessionFSM):
+            def handle(self, event):
+                return super().handle(FSMEvent.MANUAL_STOP)
+
+        with pytest.raises(FSMError):
+            establish(Broken())
+
+
+class TestTimers:
+    def test_negotiated_hold_time_is_minimum(self):
+        timers = FSMTimers(hold_time=90.0).negotiated(30.0)
+        assert timers.hold_time == 30.0
+        assert timers.keepalive_interval == pytest.approx(10.0)
+
+    def test_negotiated_zero_disables_keepalives(self):
+        timers = FSMTimers(hold_time=90.0).negotiated(0.0)
+        assert timers.hold_time == 0.0
+        assert timers.keepalive_interval == 0.0
+
+    def test_transition_log_renders(self):
+        fsm = establish(SessionFSM())
+        rendered = str(fsm.transitions[0])
+        assert "Idle" in rendered and "Connect" in rendered

@@ -1,0 +1,238 @@
+"""Unit + property tests for the BGP wire codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp import (
+    ASPath,
+    CommunitySet,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    Origin,
+    PathAttributes,
+    UpdateMessage,
+    decode_message,
+    encode_message,
+)
+from repro.bgp.community import Community, LargeCommunity
+from repro.bgp.constants import HEADER_LENGTH, MARKER
+from repro.bgp.errors import WireFormatError
+from repro.bgp.wire import iter_messages
+from repro.netbase import Prefix
+
+
+def attrs(**overrides):
+    defaults = dict(
+        as_path=ASPath.from_string("20205 3356 174 12654"),
+        next_hop="10.0.0.1",
+    )
+    defaults.update(overrides)
+    return PathAttributes(**defaults)
+
+
+class TestRoundtrips:
+    def test_announcement(self):
+        update = UpdateMessage.announce(Prefix("84.205.64.0/24"), attrs())
+        assert decode_message(encode_message(update)) == update
+
+    def test_withdrawal(self):
+        update = UpdateMessage.withdraw(
+            [Prefix("84.205.64.0/24"), Prefix("10.0.0.0/8")]
+        )
+        assert decode_message(encode_message(update)) == update
+
+    def test_ipv6_announcement_uses_mp_reach(self):
+        update = UpdateMessage.announce(
+            Prefix("2001:db8::/32"), attrs(next_hop="2001:db8::1")
+        )
+        assert decode_message(encode_message(update)) == update
+
+    def test_ipv6_withdrawal_uses_mp_unreach(self):
+        update = UpdateMessage.withdraw(Prefix("2001:db8::/32"))
+        assert decode_message(encode_message(update)) == update
+
+    def test_mixed_families(self):
+        update = UpdateMessage(
+            announced=[Prefix("10.0.0.0/8")],
+            withdrawn=[Prefix("2001:db8::/32"), Prefix("11.0.0.0/8")],
+            attributes=attrs(),
+        )
+        decoded = decode_message(encode_message(update))
+        assert set(decoded.announced) == set(update.announced)
+        assert set(decoded.withdrawn) == set(update.withdrawn)
+
+    def test_full_attribute_set(self):
+        rich = attrs(
+            origin=Origin.EGP,
+            med=77,
+            local_pref=150,
+            communities=CommunitySet.parse("3356:300 65535:666 1:2:3"),
+            atomic_aggregate=True,
+            aggregator=(__import__("repro.netbase", fromlist=["ASN"]).ASN(64500), "192.0.2.9"),
+            originator_id="192.0.2.7",
+            cluster_list=("192.0.2.5", "192.0.2.6"),
+        )
+        update = UpdateMessage.announce(Prefix("10.0.0.0/8"), rich)
+        assert decode_message(encode_message(update)) == update
+
+    def test_unknown_transitive_attribute_roundtrip(self):
+        exotic = attrs(extra=((99, b"\x01\x02\x03"),))
+        update = UpdateMessage.announce(Prefix("10.0.0.0/8"), exotic)
+        decoded = decode_message(encode_message(update))
+        assert decoded.attributes.extra == ((99, b"\x01\x02\x03"),)
+
+    def test_open(self):
+        message = OpenMessage(4259840100, "203.0.113.1", 90)
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+
+    def test_open_16bit_asn_without_capability(self):
+        message = OpenMessage(65000, "203.0.113.1", four_octet_asn=False)
+        decoded = decode_message(encode_message(message))
+        assert int(decoded.asn) == 65000
+
+    def test_keepalive(self):
+        assert decode_message(encode_message(KeepaliveMessage())) == KeepaliveMessage()
+
+    def test_notification(self):
+        message = NotificationMessage(6, 4, b"shutdown")
+        assert decode_message(encode_message(message)) == message
+
+    def test_as_set_roundtrip(self):
+        update = UpdateMessage.announce(
+            Prefix("10.0.0.0/8"),
+            attrs(as_path=ASPath.from_string("100 {200,300}")),
+        )
+        assert decode_message(encode_message(update)) == update
+
+
+class TestErrors:
+    def test_rejects_bad_marker(self):
+        wire = bytearray(encode_message(KeepaliveMessage()))
+        wire[0] = 0
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(wire))
+
+    def test_rejects_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            decode_message(MARKER[:10])
+
+    def test_rejects_truncated_body(self):
+        wire = encode_message(
+            UpdateMessage.withdraw(Prefix("10.0.0.0/8"))
+        )
+        with pytest.raises(WireFormatError):
+            decode_message(wire[:-1])
+
+    def test_rejects_trailing_garbage(self):
+        wire = encode_message(KeepaliveMessage()) + b"\x00"
+        with pytest.raises(WireFormatError):
+            decode_message(wire)
+
+    def test_rejects_unknown_type(self):
+        wire = bytearray(encode_message(KeepaliveMessage()))
+        wire[18] = 9
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(wire))
+
+    def test_rejects_keepalive_with_body(self):
+        import struct
+
+        body = b"x"
+        wire = MARKER + struct.pack("!HB", HEADER_LENGTH + 1, 4) + body
+        with pytest.raises(WireFormatError):
+            decode_message(wire)
+
+
+class TestStreaming:
+    def test_iter_messages(self):
+        first = encode_message(KeepaliveMessage())
+        second = encode_message(
+            UpdateMessage.withdraw(Prefix("10.0.0.0/8"))
+        )
+        messages = list(iter_messages(first + second))
+        assert len(messages) == 2
+        assert isinstance(messages[0], KeepaliveMessage)
+        assert isinstance(messages[1], UpdateMessage)
+
+
+# ----------------------------------------------------------------------
+# property-based roundtrips
+# ----------------------------------------------------------------------
+@st.composite
+def _prefix_v4(draw):
+    length = draw(st.integers(min_value=8, max_value=24))
+    network = draw(st.integers(min_value=0, max_value=2**length - 1))
+    return Prefix.from_int(network << (32 - length), length, 4)
+
+
+prefixes_v4 = _prefix_v4()
+
+communities = st.builds(
+    Community.of,
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+
+large_communities = st.builds(
+    LargeCommunity,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+
+as_paths = st.lists(
+    st.integers(min_value=1, max_value=2**32 - 2), min_size=1, max_size=8
+).map(ASPath.from_asns)
+
+
+@st.composite
+def update_messages(draw):
+    announced = draw(st.lists(prefixes_v4, min_size=0, max_size=4, unique=True))
+    withdrawn = draw(st.lists(prefixes_v4, min_size=0, max_size=4, unique=True))
+    if not announced and not withdrawn:
+        announced = [draw(prefixes_v4)]
+    attributes = None
+    if announced:
+        attributes = PathAttributes(
+            as_path=draw(as_paths),
+            next_hop="10.0.0.1",
+            med=draw(st.one_of(st.none(), st.integers(0, 2**32 - 1))),
+            communities=CommunitySet(
+                draw(st.lists(communities, max_size=5)),
+                draw(st.lists(large_communities, max_size=3)),
+            ),
+        )
+    return UpdateMessage(
+        announced=announced, withdrawn=withdrawn, attributes=attributes
+    )
+
+
+class TestProperties:
+    @given(update_messages())
+    @settings(max_examples=200, deadline=None)
+    def test_update_roundtrip(self, update):
+        assert decode_message(encode_message(update)) == update
+
+    @given(
+        st.integers(min_value=1, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.sampled_from([0, 3, 90, 65535]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_open_roundtrip(self, asn, router_id_int, hold_time):
+        import ipaddress
+
+        message = OpenMessage(
+            asn, str(ipaddress.IPv4Address(router_id_int)), hold_time
+        )
+        assert decode_message(encode_message(message)) == message
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_decoder_never_crashes_on_noise(self, noise):
+        try:
+            decode_message(MARKER + noise)
+        except WireFormatError:
+            pass  # rejecting is fine; crashing is not

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_lab_defaults(self):
+        arguments = build_parser().parse_args(["lab"])
+        assert arguments.command == "lab"
+        assert arguments.vendor is None
+
+    def test_classify_requires_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify"])
+
+    def test_simulate_scale_choices(self):
+        arguments = build_parser().parse_args(
+            ["simulate", "--scale", "mar20", "--seed", "7"]
+        )
+        assert arguments.scale == "mar20"
+        assert arguments.seed == 7
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scale", "huge"])
+
+
+class TestLabCommand:
+    def test_single_vendor_matrix(self, capsys):
+        assert main(["lab", "--vendor", "junos"]) == 0
+        out = capsys.readouterr().out
+        assert "Junos" in out
+        assert "exp4" in out
+
+    def test_unknown_vendor_fails_cleanly(self, capsys):
+        assert main(["lab", "--vendor", "nokia"]) == 2
+        assert "unknown vendor" in capsys.readouterr().err
+
+
+class TestClassifyCommand:
+    def test_classifies_archive(self, tmp_path, capsys):
+        # Build a small archive via the simulator.
+        from repro.netbase import Prefix
+        from repro.simulator import Network
+
+        network = Network()
+        origin = network.add_router("origin", 65001)
+        middle = network.add_router("middle", 65002)
+        collector = network.add_collector("rrc0")
+        network.connect(origin, middle)
+        network.connect(middle, collector)
+        origin.originate(Prefix("203.0.113.0/24"))
+        network.converge()
+        origin.withdraw_origination(Prefix("203.0.113.0/24"))
+        network.converge()
+        archive = tmp_path / "updates.mrt"
+        archive.write_bytes(collector.dump_mrt())
+
+        assert main(["classify", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Announcements" in out
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["classify", "/nonexistent/file.mrt"]) == 2
+        assert "cannot open" in capsys.readouterr().err
+
+    def test_empty_archive_reports_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.mrt"
+        empty.write_bytes(b"")
+        assert main(["classify", str(empty)]) == 1
+        assert "no update messages" in capsys.readouterr().err

@@ -1,0 +1,146 @@
+"""Unit tests for RFC 2439 route-flap damping."""
+
+import pytest
+
+from repro.netbase import Prefix
+from repro.simulator.damping import DampingConfig, RouteDamper
+
+PREFIX = Prefix("203.0.113.0/24")
+PEER = "peer-1"
+
+
+class TestConfig:
+    def test_default_parameters_are_sane(self):
+        config = DampingConfig()
+        assert config.reuse_threshold < config.suppress_threshold
+        assert config.max_penalty > config.suppress_threshold
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            DampingConfig(suppress_threshold=500, reuse_threshold=600)
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(ValueError):
+            DampingConfig(half_life=0)
+
+    def test_max_penalty_respects_max_suppress_time(self):
+        config = DampingConfig(half_life=900.0, max_suppress_time=3600.0)
+        # Decaying from the cap for max_suppress_time lands exactly on
+        # the reuse threshold.
+        decayed = config.max_penalty * 0.5 ** (3600.0 / 900.0)
+        assert decayed == pytest.approx(config.reuse_threshold)
+
+
+class TestPenaltyModel:
+    def setup_method(self):
+        self.damper = RouteDamper()
+
+    def test_single_flap_does_not_suppress(self):
+        suppressed = self.damper.penalize(
+            PEER, PREFIX, 0.0, is_withdrawal=True
+        )
+        assert not suppressed
+        assert not self.damper.is_suppressed(PEER, PREFIX, 1.0)
+
+    def test_rapid_flaps_suppress(self):
+        for index in range(3):
+            self.damper.penalize(
+                PEER, PREFIX, float(index), is_withdrawal=True
+            )
+        assert self.damper.is_suppressed(PEER, PREFIX, 3.0)
+        assert self.damper.suppressions == 1
+
+    def test_attribute_changes_penalize_less(self):
+        for index in range(3):
+            self.damper.penalize(
+                PEER, PREFIX, float(index), is_withdrawal=False
+            )
+        # 3 x 500 = 1500 < 2000: not suppressed.
+        assert not self.damper.is_suppressed(PEER, PREFIX, 3.0)
+
+    def test_penalty_decays_with_half_life(self):
+        self.damper.penalize(PEER, PREFIX, 0.0, is_withdrawal=True)
+        half_life = self.damper.config.half_life
+        assert self.damper.penalty_of(
+            PEER, PREFIX, half_life
+        ) == pytest.approx(500.0)
+
+    def test_suppressed_route_is_released_after_decay(self):
+        for index in range(3):
+            self.damper.penalize(
+                PEER, PREFIX, float(index), is_withdrawal=True
+            )
+        assert self.damper.is_suppressed(PEER, PREFIX, 10.0)
+        # After several half-lives the penalty sinks below reuse.
+        later = 10.0 + 3 * self.damper.config.half_life
+        assert not self.damper.is_suppressed(PEER, PREFIX, later)
+        assert self.damper.releases == 1
+
+    def test_penalty_is_capped(self):
+        for index in range(100):
+            self.damper.penalize(
+                PEER, PREFIX, float(index), is_withdrawal=True
+            )
+        assert (
+            self.damper.penalty_of(PEER, PREFIX, 100.0)
+            <= self.damper.config.max_penalty
+        )
+
+    def test_reuse_eta(self):
+        for index in range(3):
+            self.damper.penalize(
+                PEER, PREFIX, float(index), is_withdrawal=True
+            )
+        eta = self.damper.reuse_eta(PEER, PREFIX, 3.0)
+        assert eta is not None and eta > 0
+        # The route is indeed reusable after the predicted time.
+        assert not self.damper.is_suppressed(
+            PEER, PREFIX, 3.0 + eta + 1.0
+        )
+
+    def test_reuse_eta_none_for_unsuppressed(self):
+        assert self.damper.reuse_eta(PEER, PREFIX, 0.0) is None
+
+    def test_routes_are_independent(self):
+        other_prefix = Prefix("198.51.100.0/24")
+        for index in range(3):
+            self.damper.penalize(
+                PEER, PREFIX, float(index), is_withdrawal=True
+            )
+        assert self.damper.is_suppressed(PEER, PREFIX, 3.0)
+        assert not self.damper.is_suppressed(PEER, other_prefix, 3.0)
+
+    def test_peers_are_independent(self):
+        for index in range(3):
+            self.damper.penalize(
+                PEER, PREFIX, float(index), is_withdrawal=True
+            )
+        assert not self.damper.is_suppressed("peer-2", PREFIX, 3.0)
+
+    def test_fully_decayed_entries_are_forgotten(self):
+        self.damper.penalize(PEER, PREFIX, 0.0, is_withdrawal=True)
+        assert self.damper.tracked_routes() == 1
+        # ~10 half-lives: penalty < 1, entry dropped on next query.
+        much_later = 11 * self.damper.config.half_life
+        assert not self.damper.is_suppressed(PEER, PREFIX, much_later)
+        assert self.damper.tracked_routes() == 0
+
+
+class TestDampingAbsorbsExploration:
+    def test_community_exploration_burst_gets_suppressed(self):
+        """A Figure 4 burst (many attribute changes in minutes) trips
+        damping, while a single clean failover does not."""
+        damper = RouteDamper()
+        # One failover: pc + a couple of nc within a minute.
+        damper.penalize(PEER, PREFIX, 0.0, is_withdrawal=False)
+        damper.penalize(PEER, PREFIX, 10.0, is_withdrawal=False)
+        assert not damper.is_suppressed(PEER, PREFIX, 20.0)
+        # Beacon cycling: withdrawal + exploration every few minutes.
+        now = 100.0
+        for _cycle in range(3):
+            damper.penalize(PEER, PREFIX, now, is_withdrawal=True)
+            for _burst in range(3):
+                now += 15.0
+                damper.penalize(PEER, PREFIX, now, is_withdrawal=False)
+            now += 60.0
+        assert damper.is_suppressed(PEER, PREFIX, now)

@@ -1,0 +1,151 @@
+"""Tests reproducing the paper's §3 lab experiment matrix.
+
+Each test asserts the *published* finding; a regression here means the
+reproduction no longer matches the paper.
+"""
+
+import pytest
+
+from repro.simulator import LabTopology, run_all_experiments, run_experiment
+from repro.simulator.experiments import LAB_PREFIX, TAG_Y2, TAG_Y3
+from repro.vendors import ALL_PROFILES, BIRD, BIRD2, CISCO_IOS, CISCO_IOS_XR, JUNOS
+
+NON_DEDUP = (CISCO_IOS, CISCO_IOS_XR, BIRD, BIRD2)
+
+
+class TestConvergedBaseline:
+    def test_collector_sees_route_via_y2(self):
+        lab = LabTopology("exp2", CISCO_IOS)
+        # Before the link event, Y1 prefers Y2, so the collector sees
+        # the Y:300 tag (the paper's "collector sees p with Y:300").
+        communities = lab.communities_at_collector()
+        assert TAG_Y2 in communities
+        assert TAG_Y3 not in communities
+
+    def test_only_keepalives_after_convergence(self):
+        lab = LabTopology("exp1", CISCO_IOS)
+        # The network is converged: no further events pending.
+        assert lab.network.queue.pending == 0
+
+    def test_as_path_at_collector(self):
+        lab = LabTopology("exp1", CISCO_IOS)
+        assert lab.best_path_at_collector() == "64500 64510 64520"
+
+
+class TestExp1:
+    """No communities: internal next-hop change at Y1."""
+
+    @pytest.mark.parametrize("vendor", NON_DEDUP, ids=lambda v: v.name)
+    def test_non_dedup_vendors_send_duplicate_to_x1(self, vendor):
+        result = run_experiment("exp1", vendor)
+        assert result.update_sent_y1_to_x1
+        assert not result.update_reached_collector
+
+    def test_junos_suppresses_at_y1(self):
+        result = run_experiment("exp1", JUNOS)
+        assert not result.update_sent_y1_to_x1
+        assert not result.update_reached_collector
+
+    def test_duplicate_has_unchanged_path_and_no_communities(self):
+        result = run_experiment("exp1", CISCO_IOS)
+        announcements = [
+            m for m in result.x1_y1_messages if m.kind == "announce"
+        ]
+        assert announcements
+        assert announcements[0].as_path == "64510 64520"
+        assert announcements[0].communities == ""
+
+
+class TestExp2:
+    """Geo-tagging at Y2/Y3 ingress, no filtering anywhere."""
+
+    @pytest.mark.parametrize(
+        "vendor", ALL_PROFILES, ids=lambda v: v.name
+    )
+    def test_community_change_propagates_to_collector(self, vendor):
+        result = run_experiment("exp2", vendor)
+        assert result.update_sent_y1_to_x1
+        assert result.update_reached_collector
+        assert result.collector_saw_community_change
+
+    def test_collector_sees_y400_after_failover(self):
+        lab = LabTopology("exp2", CISCO_IOS)
+        lab.run()
+        communities = lab.communities_at_collector()
+        assert TAG_Y3 in communities
+        assert TAG_Y2 not in communities
+
+    def test_as_path_unchanged_through_failover(self):
+        lab = LabTopology("exp2", CISCO_IOS)
+        before = lab.best_path_at_collector()
+        lab.run()
+        assert lab.best_path_at_collector() == before
+
+    def test_even_junos_sends_because_attributes_changed(self):
+        result = run_experiment("exp2", JUNOS)
+        assert result.update_sent_y1_to_x1
+        assert result.update_reached_collector
+
+
+class TestExp3:
+    """X1 cleans communities on egress toward the collector."""
+
+    @pytest.mark.parametrize("vendor", NON_DEDUP, ids=lambda v: v.name)
+    def test_duplicate_leaks_to_collector(self, vendor):
+        result = run_experiment("exp3", vendor)
+        assert result.update_reached_collector
+        assert result.collector_saw_duplicate
+        assert not result.collector_saw_community_change
+
+    def test_junos_suppresses_the_duplicate(self):
+        result = run_experiment("exp3", JUNOS)
+        assert result.update_sent_y1_to_x1  # Y1 still updates X1
+        assert not result.update_reached_collector
+
+    def test_leaked_duplicate_carries_no_communities(self):
+        result = run_experiment("exp3", CISCO_IOS)
+        announcements = [
+            m for m in result.collector_messages if m.kind == "announce"
+        ]
+        assert announcements
+        assert all(m.communities == "" for m in announcements)
+
+
+class TestExp4:
+    """X1 cleans communities on ingress from Y1."""
+
+    @pytest.mark.parametrize(
+        "vendor", ALL_PROFILES, ids=lambda v: v.name
+    )
+    def test_ingress_cleaning_fully_suppresses(self, vendor):
+        result = run_experiment("exp4", vendor)
+        assert not result.update_reached_collector
+
+    @pytest.mark.parametrize("vendor", NON_DEDUP, ids=lambda v: v.name)
+    def test_y1_still_sends_community_update_to_x1(self, vendor):
+        # The inter-AS traffic on the X1-Y1 wire still happens; only
+        # X1's RIB stays clean (the paper's ingress/egress distinction).
+        result = run_experiment("exp4", vendor)
+        assert result.update_sent_y1_to_x1
+        announcements = [
+            m for m in result.x1_y1_messages if m.kind == "announce"
+        ]
+        assert any(m.communities for m in announcements)
+
+
+class TestMatrix:
+    def test_full_matrix_shape(self):
+        results = run_all_experiments()
+        assert len(results) == 4 * len(ALL_PROFILES)
+        rows = [result.summary_row() for result in results]
+        assert all(len(row) == 5 for row in rows)
+
+    def test_summary_notes_are_consistent(self):
+        result = run_experiment("exp3", CISCO_IOS)
+        assert "duplicate" in result.summary_row()[4]
+        result = run_experiment("exp1", JUNOS)
+        assert "suppressed" in result.summary_row()[4]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            LabTopology("exp9", CISCO_IOS)

@@ -1,0 +1,110 @@
+"""Unit tests for InternetModel construction (no full day runs)."""
+
+import pytest
+
+from repro.vendors import CISCO_IOS, JUNOS
+from repro.workloads import InternetConfig, InternetModel
+from repro.workloads.practices import CommunityPractice
+
+
+@pytest.fixture(scope="module")
+def built_model():
+    """A built (converged) but not day-simulated small internet."""
+    return InternetModel(InternetConfig.small()).build()
+
+
+class TestConfigPresets:
+    def test_small_is_smaller_than_mar20(self):
+        small = InternetConfig.small()
+        mar20 = InternetConfig.mar20()
+        assert small.topology.stub_count < mar20.topology.stub_count
+        assert small.link_flaps < mar20.link_flaps
+
+    def test_overrides(self):
+        config = InternetConfig.small(beacon_count=7, seed=99)
+        assert config.beacon_count == 7
+        assert config.seed == 99
+
+    def test_day_start_is_mar20(self):
+        from repro.netbase import parse_utc
+
+        assert InternetConfig().day_start == parse_utc("2020-03-15")
+
+
+class TestBuild:
+    def test_one_router_per_as(self, built_model):
+        assert len(built_model._routers) == len(built_model.topology.ases)
+
+    def test_every_as_has_a_practice(self, built_model):
+        assert set(built_model.practices) == set(built_model.topology.ases)
+        assert all(
+            isinstance(practice, CommunityPractice)
+            for practice in built_model.practices.values()
+        )
+
+    def test_taggers_have_geo_taggers(self, built_model):
+        taggers = {
+            asn
+            for asn, practice in built_model.practices.items()
+            if practice == CommunityPractice.TAGGER
+        }
+        assert taggers == set(built_model._taggers)
+
+    def test_collectors_created(self, built_model):
+        assert set(built_model.network.collectors) == set(
+            built_model.config.collector_names
+        )
+        for collector in built_model.network.collectors.values():
+            assert len(collector.sessions) >= 3
+
+    def test_exactly_one_route_server(self, built_model):
+        transparent = [
+            router
+            for router in built_model._routers.values()
+            if router.transparent
+        ]
+        assert len(transparent) == 1
+
+    def test_registry_covers_all_legitimate_resources(self, built_model):
+        when = built_model.config.day_start
+        for spec in built_model.topology.ases.values():
+            assert built_model.registry.asn_allocated(spec.asn, when)
+            for prefix in spec.prefixes:
+                assert built_model.registry.prefix_allocated(prefix, when)
+
+    def test_bogon_prefix_is_unregistered(self, built_model):
+        when = built_model.config.day_start
+        assert built_model._bogon_prefixes
+        for prefix in built_model._bogon_prefixes:
+            assert not built_model.registry.prefix_allocated(prefix, when)
+
+    def test_network_converged_after_build(self, built_model):
+        assert built_model.network.queue.pending == 0
+        # The global table is populated: routers know remote prefixes.
+        sample_router = next(iter(built_model._routers.values()))
+        assert len(sample_router.loc_rib) > 5
+
+    def test_deterministic_given_seed(self):
+        first = InternetModel(InternetConfig.small())
+        second = InternetModel(InternetConfig.small())
+        assert first.practices == second.practices  # both empty pre-build
+        assert sorted(first.topology.ases) == sorted(second.topology.ases)
+        assert (
+            first.topology.session_count()
+            == second.topology.session_count()
+        )
+
+    def test_vendor_mix_override(self):
+        model = InternetModel(
+            InternetConfig.small(vendor_mix=((JUNOS, 1.0),))
+        ).build()
+        assert all(
+            router.vendor is JUNOS
+            for router in model._routers.values()
+        )
+
+    def test_bogons_can_be_disabled(self):
+        model = InternetModel(
+            InternetConfig.small(include_bogons=False)
+        ).build()
+        assert model._bogon_prefixes == []

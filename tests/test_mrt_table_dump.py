@@ -1,0 +1,144 @@
+"""Tests for TABLE_DUMP_V2 RIB snapshots."""
+
+import io
+
+import pytest
+
+from repro.bgp import ASPath, CommunitySet, PathAttributes
+from repro.mrt.records import MRTError
+from repro.mrt.table_dump import RibSnapshot, snapshot_from_collector
+from repro.netbase import Prefix
+
+PEERS = [(20205, "192.0.2.2"), (3356, "192.0.2.3"), (6939, "2001:db8::9")]
+
+
+def attrs(path="20205 3356 12654", communities="3356:301"):
+    return PathAttributes(
+        as_path=ASPath.from_string(path),
+        next_hop="10.0.0.1",
+        communities=CommunitySet.parse(communities),
+    )
+
+
+def sample_snapshot():
+    snapshot = RibSnapshot("rrc0", PEERS, snapshot_time=1584230400.0)
+    snapshot.add_entry(
+        Prefix("84.205.64.0/24"), 0, attrs(), originated_at=100.0
+    )
+    snapshot.add_entry(
+        Prefix("84.205.64.0/24"), 1, attrs("3356 12654", "3356:52"),
+        originated_at=200.0,
+    )
+    snapshot.add_entry(
+        Prefix("10.0.0.0/8"), 2, attrs("6939 12654", ""),
+        originated_at=300.0,
+    )
+    return snapshot
+
+
+class TestRoundtrip:
+    def test_write_read(self):
+        snapshot = sample_snapshot()
+        data = snapshot.to_bytes()
+        parsed = RibSnapshot.read(io.BytesIO(data))
+        assert parsed.collector_id == "rrc0"
+        assert parsed.peers == PEERS
+        assert parsed.snapshot_time == snapshot.snapshot_time
+        assert len(parsed) == len(snapshot)
+        assert parsed.route_count() == snapshot.route_count()
+        for prefix in snapshot.prefixes():
+            assert parsed.entries(prefix) == snapshot.entries(prefix)
+
+    def test_ipv6_prefixes_use_their_subtype(self):
+        snapshot = RibSnapshot("rrc0", PEERS)
+        snapshot.add_entry(
+            Prefix("2001:db8::/32"), 2,
+            attrs("6939 12654", "").replace(next_hop="2001:db8::1"),
+        )
+        parsed = RibSnapshot.read(io.BytesIO(snapshot.to_bytes()))
+        entries = parsed.entries(Prefix("2001:db8::/32"))
+        assert len(entries) == 1
+        assert entries[0].attributes.next_hop == "2001:db8::1"
+
+    def test_record_count(self):
+        snapshot = sample_snapshot()
+        buffer = io.BytesIO()
+        written = snapshot.write(buffer)
+        # 1 peer index + 2 prefixes.
+        assert written == 3
+
+    def test_rejects_bad_peer_index(self):
+        snapshot = RibSnapshot("rrc0", PEERS)
+        with pytest.raises(MRTError):
+            snapshot.add_entry(Prefix("10.0.0.0/8"), 9, attrs())
+
+    def test_read_rejects_headerless_rib(self):
+        snapshot = sample_snapshot()
+        data = snapshot.to_bytes()
+        # Find the second record start (skip peer index record).
+        import struct
+
+        length = struct.unpack("!I", data[8:12])[0]
+        rib_only = data[12 + length :]
+        with pytest.raises(MRTError):
+            RibSnapshot.read(io.BytesIO(rib_only))
+
+    def test_read_rejects_empty(self):
+        with pytest.raises(MRTError):
+            RibSnapshot.read(io.BytesIO(b""))
+
+
+class TestSnapshotFromCollector:
+    def _collector(self):
+        from repro.netbase import Prefix
+        from repro.simulator import Network
+
+        network = Network()
+        origin = network.add_router("origin", 65001)
+        middle = network.add_router("middle", 65002)
+        collector = network.add_collector("rrc0")
+        network.connect(origin, middle)
+        network.connect(middle, collector)
+        return network, origin, collector
+
+    def test_snapshot_reflects_final_state(self):
+        network, origin, collector = self._collector()
+        prefix = Prefix("203.0.113.0/24")
+        origin.originate(prefix)
+        network.converge()
+        snapshot = snapshot_from_collector(collector)
+        assert len(snapshot) == 1
+        entries = snapshot.entries(prefix)
+        assert len(entries) == 1
+        assert str(entries[0].attributes.as_path) == "65002 65001"
+
+    def test_withdrawn_routes_leave_the_snapshot(self):
+        network, origin, collector = self._collector()
+        prefix = Prefix("203.0.113.0/24")
+        origin.originate(prefix)
+        network.converge()
+        origin.withdraw_origination(prefix)
+        network.converge()
+        snapshot = snapshot_from_collector(collector)
+        assert len(snapshot) == 0
+
+    def test_snapshot_roundtrips_through_bytes(self):
+        network, origin, collector = self._collector()
+        origin.originate(Prefix("203.0.113.0/24"))
+        origin.originate(Prefix("2001:db8::/32"))
+        network.converge()
+        snapshot = snapshot_from_collector(collector)
+        parsed = RibSnapshot.read(io.BytesIO(snapshot.to_bytes()))
+        assert parsed.route_count() == snapshot.route_count()
+        assert parsed.prefixes() == snapshot.prefixes()
+
+    def test_time_bounded_snapshot(self):
+        network, origin, collector = self._collector()
+        prefix = Prefix("203.0.113.0/24")
+        origin.originate(prefix)
+        network.converge()
+        cutoff = network.clock.now
+        origin.withdraw_origination(prefix)
+        network.converge()
+        early = snapshot_from_collector(collector, at=cutoff)
+        assert len(early) == 1

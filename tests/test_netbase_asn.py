@@ -1,0 +1,90 @@
+"""Unit tests for repro.netbase.asn."""
+
+import pytest
+
+from repro.netbase import ASN, AS_TRANS, parse_asn
+from repro.netbase.asn import is_private_asn, is_reserved_asn
+from repro.netbase.errors import ASNError
+
+
+class TestConstruction:
+    def test_from_int(self):
+        assert int(ASN(3356)) == 3356
+
+    def test_from_asplain_string(self):
+        assert ASN("64512") == 64512
+
+    def test_from_asdot_string(self):
+        assert ASN("64512.1") == (64512 << 16) | 1
+
+    def test_from_as_prefixed_string(self):
+        assert ASN("AS3356") == 3356
+        assert ASN("as3356") == 3356
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ASNError):
+            ASN(-1)
+        with pytest.raises(ASNError):
+            ASN(2**32)
+
+    def test_rejects_garbage_strings(self):
+        for bad in ("", "AS", "12.x", "65536.0x", "banana"):
+            with pytest.raises(ASNError):
+                ASN(bad)
+
+    def test_rejects_asdot_component_overflow(self):
+        with pytest.raises(ASNError):
+            ASN("65536.1")
+
+    def test_parse_asn_helper(self):
+        assert parse_asn("AS20205") == ASN(20205)
+
+
+class TestClassification:
+    def test_16bit_detection(self):
+        assert ASN(65535).is_16bit
+        assert not ASN(65536).is_16bit
+
+    def test_private_ranges(self):
+        assert ASN(64512).is_private
+        assert ASN(65534).is_private
+        assert ASN(4200000000).is_private
+        assert not ASN(3356).is_private
+
+    def test_reserved_ranges(self):
+        assert ASN(0).is_reserved
+        assert ASN(65535).is_reserved
+        assert ASN(64496).is_reserved  # documentation
+        assert ASN(4294967295).is_reserved
+        assert not ASN(3356).is_reserved
+
+    def test_as_trans_not_public(self):
+        assert not ASN(AS_TRANS).is_public
+
+    def test_public(self):
+        assert ASN(3356).is_public
+        assert not ASN(64512).is_public
+
+    def test_module_level_helpers(self):
+        assert is_private_asn(64512)
+        assert is_reserved_asn(0)
+        assert not is_private_asn(1)
+        assert not is_reserved_asn(1)
+
+
+class TestRendering:
+    def test_asdot_16bit_stays_plain(self):
+        assert ASN(3356).to_asdot() == "3356"
+
+    def test_asdot_32bit(self):
+        assert ASN((64512 << 16) | 1).to_asdot() == "64512.1"
+
+    def test_str_and_repr(self):
+        assert str(ASN(3356)) == "3356"
+        assert repr(ASN(3356)) == "ASN(3356)"
+
+    def test_behaves_as_int(self):
+        assert ASN(100) + 1 == 101
+        assert ASN(100) == 100
+        assert hash(ASN(100)) == hash(100)
+        assert ASN(5) < ASN(6)

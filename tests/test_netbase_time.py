@@ -1,0 +1,73 @@
+"""Unit tests for repro.netbase.timebase."""
+
+import pytest
+
+from repro.netbase import SimClock, parse_utc, format_utc, utc_day
+from repro.netbase.errors import ClockError
+from repro.netbase.timebase import seconds_into_day, SECONDS_PER_DAY
+
+
+class TestParseFormat:
+    def test_parse_date_only(self):
+        assert parse_utc("1970-01-01") == 0.0
+
+    def test_parse_datetime(self):
+        assert parse_utc("1970-01-01 01:00:00") == 3600.0
+
+    def test_parse_minutes_form(self):
+        assert parse_utc("1970-01-01 01:30") == 5400.0
+
+    def test_parse_mar20(self):
+        # 2020-03-15 00:00 UTC, the paper's d_mar20 day.
+        assert parse_utc("2020-03-15") == 1584230400.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_utc("not a date")
+
+    def test_format_roundtrip(self):
+        when = parse_utc("2020-03-15 02:15:00")
+        assert format_utc(when) == "2020-03-15 02:15:00"
+        assert format_utc(when, with_time=False) == "2020-03-15"
+
+
+class TestDayMath:
+    def test_utc_day_floor(self):
+        when = parse_utc("2020-03-15 13:45:00")
+        assert utc_day(when) == parse_utc("2020-03-15")
+
+    def test_seconds_into_day(self):
+        when = parse_utc("2020-03-15 02:00:00")
+        assert seconds_into_day(when) == 7200.0
+
+    def test_day_length_constant(self):
+        assert SECONDS_PER_DAY == 86400
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_same_instant_allowed(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_by(self):
+        clock = SimClock(1.0)
+        clock.advance_by(2.5)
+        assert clock.now == 3.5
+
+    def test_refuses_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.0)
+
+    def test_refuses_negative_delta(self):
+        with pytest.raises(ClockError):
+            SimClock().advance_by(-1.0)

@@ -1,0 +1,64 @@
+"""Tests for the report rendering helpers."""
+
+from repro.reports import (
+    format_share,
+    render_kv_table,
+    render_series,
+    render_stacked_counts,
+    render_table,
+)
+
+
+class TestFormatShare:
+    def test_percentage_style(self):
+        assert format_share(0.337) == "33.7%"
+        assert format_share(0.0) == "0.0%"
+        assert format_share(1.0) == "100.0%"
+
+    def test_none_renders_dash(self):
+        assert format_share(None) == "-"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        rendered = render_table(
+            ("name", "value"),
+            [("a", 1), ("longer-name", 22)],
+        )
+        lines = rendered.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # All lines padded to equal visual width per column.
+        assert lines[0].startswith("name")
+        assert "longer-name" in lines[3]
+
+    def test_title(self):
+        rendered = render_table(("x",), [("1",)], title="My Table")
+        assert rendered.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        rendered = render_table(("a", "b"), [])
+        assert len(rendered.splitlines()) == 2
+
+    def test_cells_are_stringified(self):
+        rendered = render_table(("n",), [(3.14159,)])
+        assert "3.14159" in rendered
+
+    def test_kv_table(self):
+        rendered = render_kv_table([("metric", "42")])
+        assert "metric" in rendered and "42" in rendered
+
+    def test_series(self):
+        rendered = render_series(
+            [("2020", 0.5)], value_format="{:.1f}"
+        )
+        assert "0.5" in rendered
+
+    def test_stacked_counts(self):
+        rendered = render_stacked_counts(
+            ["day1", "day2"],
+            {"pc": [1, 2], "nn": [3, 4]},
+        )
+        lines = rendered.splitlines()
+        assert "total" in lines[0]
+        assert lines[2].split()[-1] == "4"  # day1 total = 1+3
+        assert lines[3].split()[-1] == "6"  # day2 total = 2+4

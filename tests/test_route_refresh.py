@@ -1,0 +1,81 @@
+"""Tests for ROUTE-REFRESH (RFC 2918) and beacon anchors."""
+
+import pytest
+
+from repro.bgp import (
+    RouteRefreshMessage,
+    decode_message,
+    encode_message,
+)
+from repro.bgp.errors import MessageError, WireFormatError
+
+
+class TestRouteRefresh:
+    def test_roundtrip(self):
+        for afi, safi in ((1, 1), (2, 1), (1, 2)):
+            message = RouteRefreshMessage(afi, safi)
+            assert decode_message(encode_message(message)) == message
+
+    def test_defaults(self):
+        message = RouteRefreshMessage()
+        assert message.afi == 1
+        assert message.safi == 1
+
+    def test_range_validation(self):
+        with pytest.raises(MessageError):
+            RouteRefreshMessage(afi=70000)
+        with pytest.raises(MessageError):
+            RouteRefreshMessage(safi=300)
+
+    def test_decoder_rejects_bad_length(self):
+        wire = bytearray(encode_message(RouteRefreshMessage()))
+        # Truncate the 4-byte body to 3 bytes and fix the length field.
+        wire = wire[:-1]
+        wire[16:18] = (len(wire)).to_bytes(2, "big")
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(wire))
+
+    def test_hash_and_repr(self):
+        assert len({RouteRefreshMessage(), RouteRefreshMessage()}) == 1
+        assert "afi=2" in repr(RouteRefreshMessage(2))
+
+
+class TestBeaconAnchor:
+    def test_anchor_is_announced_once_and_stays(self):
+        from repro.beacons import BeaconOrigin
+        from repro.netbase import Prefix, parse_utc
+        from repro.simulator import Network
+
+        day = parse_utc("2020-03-15")
+        network = Network(start_time=day - 3600)
+        origin = network.add_router("origin", 65001)
+        middle = network.add_router("middle", 65002)
+        collector = network.add_collector("rrc0")
+        network.connect(origin, middle)
+        network.connect(middle, collector)
+        network.converge()
+
+        beacon_prefix = Prefix("84.205.64.0/24")
+        anchor_prefix = Prefix("84.205.80.0/24")
+        agent = BeaconOrigin(
+            origin, beacon_prefix, anchor_prefix=anchor_prefix
+        )
+        agent.schedule_day(day)
+        network.run(until=day + 86_400)
+        network.converge()
+
+        anchor_events = [
+            record
+            for record in collector.updates()
+            if anchor_prefix
+            in record.message.announced + record.message.withdrawn
+        ]
+        # One announcement, never withdrawn: the control stream.
+        assert len(anchor_events) == 1
+        assert anchor_events[0].message.is_announcement
+        beacon_withdrawals = [
+            record
+            for record in collector.updates()
+            if beacon_prefix in record.message.withdrawn
+        ]
+        assert len(beacon_withdrawals) == 6

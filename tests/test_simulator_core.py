@@ -1,0 +1,197 @@
+"""Unit tests for the simulator core: events, sessions, links."""
+
+import pytest
+
+from repro.netbase import SimClock
+from repro.simulator import EventQueue, Network
+from repro.simulator.session import SessionKind
+
+
+class TestEventQueue:
+    def setup_method(self):
+        self.queue = EventQueue(SimClock(0.0))
+
+    def test_runs_in_time_order(self):
+        seen = []
+        self.queue.schedule(2.0, lambda: seen.append("late"))
+        self.queue.schedule(1.0, lambda: seen.append("early"))
+        self.queue.run_until_idle()
+        assert seen == ["early", "late"]
+
+    def test_ties_break_in_insertion_order(self):
+        seen = []
+        self.queue.schedule(1.0, lambda: seen.append("first"))
+        self.queue.schedule(1.0, lambda: seen.append("second"))
+        self.queue.run_until_idle()
+        assert seen == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        self.queue.schedule(5.0, lambda: None)
+        self.queue.run_until_idle()
+        assert self.queue.now == 5.0
+
+    def test_until_boundary(self):
+        seen = []
+        self.queue.schedule(1.0, lambda: seen.append(1))
+        self.queue.schedule(3.0, lambda: seen.append(3))
+        executed = self.queue.run(until=2.0)
+        assert executed == 1
+        assert seen == [1]
+        assert self.queue.now == 2.0  # clock advanced to boundary
+        assert self.queue.pending == 1
+
+    def test_events_can_schedule_events(self):
+        seen = []
+
+        def outer():
+            seen.append("outer")
+            self.queue.schedule(1.0, lambda: seen.append("inner"))
+
+        self.queue.schedule(1.0, outer)
+        self.queue.run_until_idle()
+        assert seen == ["outer", "inner"]
+
+    def test_cancelled_events_are_skipped(self):
+        seen = []
+        event = self.queue.schedule(1.0, lambda: seen.append("cancelled"))
+        self.queue.schedule(2.0, lambda: seen.append("kept"))
+        event.cancel()
+        self.queue.run_until_idle()
+        assert seen == ["kept"]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            self.queue.schedule(-1.0, lambda: None)
+
+    def test_rejects_scheduling_in_past(self):
+        self.queue.schedule(5.0, lambda: None)
+        self.queue.run_until_idle()
+        with pytest.raises(ValueError):
+            self.queue.schedule_at(1.0, lambda: None)
+
+    def test_max_events_backstop(self):
+        def forever():
+            self.queue.schedule(1.0, forever)
+
+        self.queue.schedule(1.0, forever)
+        with pytest.raises(RuntimeError):
+            self.queue.run_until_idle(max_events=100)
+
+    def test_processed_counter(self):
+        self.queue.schedule(1.0, lambda: None)
+        self.queue.schedule(2.0, lambda: None)
+        self.queue.run_until_idle()
+        assert self.queue.processed == 2
+
+
+class TestSessions:
+    def setup_method(self):
+        self.network = Network()
+        self.r1 = self.network.add_router("r1", 65001)
+        self.r2 = self.network.add_router("r2", 65002)
+        self.r3 = self.network.add_router("r3", 65002)
+
+    def test_kind_inferred_from_asns(self):
+        ebgp = self.network.connect(self.r1, self.r2)
+        ibgp = self.network.connect(self.r2, self.r3)
+        assert ebgp.kind == SessionKind.EBGP
+        assert ebgp.is_ebgp
+        assert ibgp.kind == SessionKind.IBGP
+
+    def test_other_endpoint(self):
+        session = self.network.connect(self.r1, self.r2)
+        assert session.other(self.r1) is self.r2
+        assert session.other(self.r2) is self.r1
+        with pytest.raises(ValueError):
+            session.other(self.r3)
+
+    def test_addresses_are_distinct(self):
+        session = self.network.connect(self.r1, self.r2)
+        assert session.local_address(self.r1) != session.local_address(
+            self.r2
+        )
+        assert session.peer_address(self.r1) == session.local_address(
+            self.r2
+        )
+
+    def test_send_is_delayed(self):
+        session = self.network.connect(self.r1, self.r2, delay=0.5)
+        from repro.bgp import KeepaliveMessage
+
+        assert session.send(self.r1, KeepaliveMessage())
+        assert self.network.queue.pending == 1
+
+    def test_down_session_drops_messages(self):
+        session = self.network.connect(self.r1, self.r2)
+        session.bring_down()
+        from repro.bgp import KeepaliveMessage
+
+        assert not session.send(self.r1, KeepaliveMessage())
+
+    def test_taps_observe_messages(self):
+        session = self.network.connect(self.r1, self.r2)
+        captured = []
+        session.taps.append(
+            lambda when, sender, message: captured.append(sender.name)
+        )
+        from repro.bgp import KeepaliveMessage
+
+        session.send(self.r1, KeepaliveMessage())
+        assert captured == ["r1"]
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(ValueError):
+            self.network.add_router("r1", 65009)
+        with pytest.raises(ValueError):
+            self.network.add_collector("r1")
+
+
+class TestLinks:
+    def setup_method(self):
+        self.network = Network()
+        self.r1 = self.network.add_router("r1", 65001)
+        self.r2 = self.network.add_router("r2", 65002)
+
+    def test_fail_takes_sessions_down(self):
+        link = self.network.add_link("l1")
+        session = self.network.connect(self.r1, self.r2, link=link)
+        link.fail()
+        assert not session.established
+        assert not link.is_up
+
+    def test_restore_brings_sessions_up(self):
+        link = self.network.add_link("l1")
+        session = self.network.connect(self.r1, self.r2, link=link)
+        link.fail()
+        link.restore()
+        assert session.established
+
+    def test_fail_is_idempotent(self):
+        link = self.network.add_link("l1")
+        self.network.connect(self.r1, self.r2, link=link)
+        link.fail()
+        link.fail()
+        link.restore()
+        link.restore()
+        assert link.is_up
+
+    def test_flap_schedules_restore(self):
+        link = self.network.add_link("l1")
+        session = self.network.connect(self.r1, self.r2, link=link)
+        self.network.converge()
+        link.flap(self.network, down_for=10.0)
+        assert not session.established
+        self.network.converge()
+        assert session.established
+
+    def test_attach_to_down_link_downs_session(self):
+        link = self.network.add_link("l1")
+        link.fail()
+        session = self.network.connect(self.r1, self.r2)
+        link.attach(session)
+        assert not session.established
+
+    def test_duplicate_link_names_rejected(self):
+        self.network.add_link("l1")
+        with pytest.raises(ValueError):
+            self.network.add_link("l1")

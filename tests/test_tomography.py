@@ -1,0 +1,172 @@
+"""Tests for per-AS community-behavior inference (paper §7)."""
+
+import pytest
+
+from repro.analysis.observations import (
+    Observation,
+    ObservationKind,
+    SessionKey,
+)
+from repro.analysis.tomography import (
+    CommunityBehaviorClassifier,
+    InferredBehavior,
+    score_against_ground_truth,
+)
+from repro.bgp import ASPath, CommunitySet
+from repro.netbase import Prefix
+
+SESSION = SessionKey("rrc00", 100, "10.0.0.1")
+PREFIX = Prefix("203.0.113.0/24")
+
+
+def announce(path, communities="", t=0.0):
+    return Observation(
+        timestamp=t,
+        session=SESSION,
+        prefix=PREFIX,
+        kind=ObservationKind.ANNOUNCE,
+        as_path=ASPath.from_string(path),
+        communities=CommunitySet.parse(communities),
+    )
+
+
+def feed(classifier, path, communities, count=30):
+    for index in range(count):
+        classifier.observe(announce(path, communities, t=float(index)))
+
+
+class TestEvidence:
+    def test_tagger_detected(self):
+        classifier = CommunityBehaviorClassifier()
+        # AS 200 sits mid-path and its tags ride on the routes.
+        feed(classifier, "100 200 300", "200:301 200:52")
+        inference = classifier.infer(200)
+        assert inference.behavior == InferredBehavior.TAGGER
+        assert inference.own_tag_ratio == 1.0
+
+    def test_cleaner_detected(self):
+        classifier = CommunityBehaviorClassifier()
+        # Routes through AS 200 never carry the origin's (300) tags.
+        feed(classifier, "100 200 300", "")
+        inference = classifier.infer(200)
+        assert inference.behavior == InferredBehavior.CLEANER
+
+    def test_ignorer_detected(self):
+        classifier = CommunityBehaviorClassifier()
+        # AS 200 passes the origin's tags untouched, adds none.
+        feed(classifier, "100 200 300", "300:7")
+        inference = classifier.infer(200)
+        assert inference.behavior == InferredBehavior.IGNORER
+        assert inference.upstream_survival_ratio == 1.0
+
+    def test_insufficient_samples_stay_unknown(self):
+        classifier = CommunityBehaviorClassifier(min_samples=50)
+        feed(classifier, "100 200 300", "300:7", count=10)
+        assert classifier.infer(200).behavior == InferredBehavior.UNKNOWN
+
+    def test_never_observed_is_unknown(self):
+        classifier = CommunityBehaviorClassifier()
+        inference = classifier.infer(999)
+        assert inference.behavior == InferredBehavior.UNKNOWN
+        assert inference.sample_size == 0
+
+    def test_origin_is_not_credited_as_transit(self):
+        classifier = CommunityBehaviorClassifier()
+        feed(classifier, "100 200 300", "300:7")
+        evidence = classifier.evidence_for(300)
+        # The origin never occupies a transit position: either no
+        # evidence record at all, or one with zero transit counts.
+        assert evidence is None or evidence.transit_announcements == 0
+
+    def test_prepending_does_not_double_count(self):
+        classifier = CommunityBehaviorClassifier()
+        feed(classifier, "100 200 200 300", "300:7")
+        evidence = classifier.evidence_for(200)
+        # distinct_ases collapses the prepend: one transit position.
+        assert evidence.transit_announcements == 30
+
+    def test_withdrawals_ignored(self):
+        classifier = CommunityBehaviorClassifier()
+        classifier.observe(
+            Observation(
+                timestamp=0.0,
+                session=SESSION,
+                prefix=PREFIX,
+                kind=ObservationKind.WITHDRAW,
+            )
+        )
+        assert classifier.evidence_for(100) is None
+
+    def test_infer_all_sorted_by_sample_size(self):
+        classifier = CommunityBehaviorClassifier(min_samples=1)
+        feed(classifier, "100 200 300", "300:7", count=40)
+        feed(classifier, "100 400 500", "500:7", count=10)
+        inferences = classifier.infer_all()
+        assert inferences[0].sample_size >= inferences[-1].sample_size
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CommunityBehaviorClassifier(tag_threshold=1.5)
+
+    def test_str_rendering(self):
+        classifier = CommunityBehaviorClassifier()
+        feed(classifier, "100 200 300", "200:301")
+        assert "AS200" in str(classifier.infer(200))
+
+
+class TestScoring:
+    def test_score_against_ground_truth(self):
+        classifier = CommunityBehaviorClassifier()
+        feed(classifier, "100 200 300", "200:301")  # 200 tags
+        feed(classifier, "100 400 300", "300:9")  # 400 ignores
+        inferences = classifier.infer_all()
+        scores = score_against_ground_truth(
+            inferences,
+            {200: "tagger", 400: "ignorer", 300: "ignorer"},
+        )
+        assert scores["accuracy"] == 1.0
+        assert scores["precision_tagger"] == 1.0
+
+    def test_unknown_and_unlabeled_excluded(self):
+        classifier = CommunityBehaviorClassifier()
+        feed(classifier, "100 200 300", "200:301")
+        scores = score_against_ground_truth(
+            classifier.infer_all(), {}
+        )
+        assert scores["classified"] == 0.0
+        assert scores["accuracy"] == 0.0
+
+    def test_cleaner_variants_both_map_to_cleaner(self):
+        classifier = CommunityBehaviorClassifier()
+        feed(classifier, "100 200 300", "")
+        for practice in ("cleaner_egress", "cleaner_ingress"):
+            scores = score_against_ground_truth(
+                classifier.infer_all(), {200: practice, 100: practice}
+            )
+            assert scores["accuracy"] > 0.0
+
+
+class TestOnSyntheticInternet:
+    """End-to-end: infer practices on the simulated day and score
+    against the workload's ground truth."""
+
+    def test_inference_beats_chance(self):
+        from repro.analysis import observations_from_collector
+        from repro.workloads import InternetConfig, InternetModel
+
+        day = InternetModel(InternetConfig.small()).run()
+        classifier = CommunityBehaviorClassifier(min_samples=30)
+        for collector in day.collectors():
+            classifier.observe_all(
+                observations_from_collector(collector)
+            )
+        ground_truth = {
+            asn: practice.value
+            for asn, practice in day.practices.items()
+        }
+        scores = score_against_ground_truth(
+            classifier.infer_all(), ground_truth
+        )
+        assert scores["classified"] >= 5
+        # Three-way classification: chance is ~1/3.
+        assert scores["accuracy"] > 0.45, scores

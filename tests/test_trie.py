@@ -1,0 +1,156 @@
+"""Unit + property tests for the prefix trie."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netbase import Prefix
+from repro.rib.trie import PrefixTrie
+
+
+def p(text):
+    return Prefix(text)
+
+
+class TestBasics:
+    def setup_method(self):
+        self.trie = PrefixTrie()
+
+    def test_insert_get(self):
+        self.trie.insert(p("10.0.0.0/8"), "a")
+        assert self.trie.get(p("10.0.0.0/8")) == "a"
+        assert self.trie.get(p("10.0.0.0/9")) is None
+        assert len(self.trie) == 1
+
+    def test_mapping_protocol(self):
+        self.trie[p("10.0.0.0/8")] = "a"
+        assert self.trie[p("10.0.0.0/8")] == "a"
+        assert p("10.0.0.0/8") in self.trie
+        assert p("11.0.0.0/8") not in self.trie
+        with pytest.raises(KeyError):
+            self.trie[p("11.0.0.0/8")]
+
+    def test_replace_keeps_size(self):
+        self.trie.insert(p("10.0.0.0/8"), "a")
+        self.trie.insert(p("10.0.0.0/8"), "b")
+        assert len(self.trie) == 1
+        assert self.trie.get(p("10.0.0.0/8")) == "b"
+
+    def test_remove(self):
+        self.trie.insert(p("10.0.0.0/8"), "a")
+        assert self.trie.remove(p("10.0.0.0/8")) == "a"
+        assert len(self.trie) == 0
+        assert self.trie.remove(p("10.0.0.0/8")) is None
+
+    def test_remove_keeps_other_branches(self):
+        self.trie.insert(p("10.0.0.0/8"), "a")
+        self.trie.insert(p("10.0.0.0/16"), "b")
+        self.trie.remove(p("10.0.0.0/8"))
+        assert self.trie.get(p("10.0.0.0/16")) == "b"
+
+    def test_versions_are_separate(self):
+        self.trie.insert(p("10.0.0.0/8"), "v4")
+        self.trie.insert(p("2001:db8::/32"), "v6")
+        assert self.trie.longest_match(p("2001:db8::/48"))[1] == "v6"
+        assert self.trie.longest_match(p("10.1.0.0/16"))[1] == "v4"
+
+    def test_default_route(self):
+        self.trie.insert(p("0.0.0.0/0"), "default")
+        match = self.trie.longest_match(p("192.0.2.0/24"))
+        assert match == (p("0.0.0.0/0"), "default")
+
+
+class TestLongestMatch:
+    def setup_method(self):
+        self.trie = PrefixTrie()
+        self.trie.insert(p("10.0.0.0/8"), "block")
+        self.trie.insert(p("10.2.0.0/16"), "subnet")
+        self.trie.insert(p("10.2.3.0/24"), "site")
+
+    def test_most_specific_wins(self):
+        assert self.trie.longest_match(p("10.2.3.0/24"))[1] == "site"
+        assert self.trie.longest_match(p("10.2.4.0/24"))[1] == "subnet"
+        assert self.trie.longest_match(p("10.9.0.0/16"))[1] == "block"
+
+    def test_no_match(self):
+        assert self.trie.longest_match(p("192.0.2.0/24")) is None
+
+    def test_match_returns_stored_prefix(self):
+        matched, _ = self.trie.longest_match(p("10.2.3.128/25"))
+        assert matched == p("10.2.3.0/24")
+
+
+class TestCoverQueries:
+    def setup_method(self):
+        self.trie = PrefixTrie()
+        for text in ("10.0.0.0/8", "10.2.0.0/16", "10.2.3.0/24",
+                     "11.0.0.0/8"):
+            self.trie.insert(p(text), text)
+
+    def test_covered_by(self):
+        covered = {str(px) for px, _ in self.trie.covered_by(p("10.0.0.0/8"))}
+        assert covered == {"10.0.0.0/8", "10.2.0.0/16", "10.2.3.0/24"}
+
+    def test_covering(self):
+        covering = {
+            str(px) for px, _ in self.trie.covering(p("10.2.3.0/24"))
+        }
+        assert covering == {"10.0.0.0/8", "10.2.0.0/16", "10.2.3.0/24"}
+
+    def test_overlaps(self):
+        assert self.trie.overlaps(p("10.2.0.0/15"))  # covers 10.2/16
+        assert self.trie.overlaps(p("10.2.3.4/32"))  # covered
+        assert not self.trie.overlaps(p("192.0.2.0/24"))
+
+    def test_items_enumerates_everything(self):
+        assert len(list(self.trie.items())) == 4
+
+
+@st.composite
+def _prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=28))
+    network = draw(st.integers(min_value=0, max_value=(1 << length) - 1 if length else 0))
+    return Prefix.from_int(network << (32 - length) if length else 0, length, 4)
+
+
+class TestProperties:
+    @given(st.dictionaries(_prefixes(), st.integers(), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_dict_semantics(self, entries):
+        trie = PrefixTrie()
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        assert len(trie) == len(entries)
+        for prefix, value in entries.items():
+            assert trie.get(prefix) == value
+        assert dict(trie.items()) == entries
+
+    @given(
+        st.dictionaries(_prefixes(), st.integers(), min_size=1, max_size=30),
+        _prefixes(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_longest_match_agrees_with_linear_scan(self, entries, probe):
+        trie = PrefixTrie()
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        expected = None
+        for prefix in entries:
+            if prefix.contains(probe):
+                if expected is None or prefix.length > expected.length:
+                    expected = prefix
+        result = trie.longest_match(probe)
+        if expected is None:
+            assert result is None
+        else:
+            assert result == (expected, entries[expected])
+
+    @given(st.lists(_prefixes(), min_size=1, max_size=30, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_remove_everything_empties_the_trie(self, prefixes):
+        trie = PrefixTrie()
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        for prefix in prefixes:
+            assert trie.remove(prefix) is not None
+        assert len(trie) == 0
+        assert list(trie.items()) == []
