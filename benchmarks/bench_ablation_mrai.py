@@ -3,26 +3,40 @@
 The paper notes MRAI timers "have been explored, but may offer
 suboptimal performance" and are selectively deployed; the lab runs use
 no pacing so every generated message is observable.  This ablation
-sweeps the per-session MRAI on the small internet and reports the
-collected message volume: pacing batches implicit withdrawals during
-path exploration, so volume should not increase with MRAI.
+sweeps the per-session MRAI on the small internet — expressed as three
+declarative variants of the ``internet-small`` scenario run through
+the engine in one sweep — and reports the collected message volume:
+pacing batches implicit withdrawals during path exploration, so volume
+should not increase with MRAI.
 """
 
+from dataclasses import replace
+
 from repro.reports import render_table
-from repro.workloads import InternetConfig, InternetModel
+from repro.scenarios import get_scenario, run_sweep
 
 MRAI_VALUES = (0.0, 5.0, 30.0)
 
 
-def run_with_mrai(mrai):
-    config = InternetConfig.small(mrai=mrai)
-    day = InternetModel(config).run()
-    return day.total_collected_messages()
+def mrai_specs():
+    base = get_scenario("internet-small")
+    return [
+        replace(
+            base,
+            name=f"internet-small@mrai{mrai:.0f}",
+            internet=replace(base.internet, mrai=mrai),
+        )
+        for mrai in MRAI_VALUES
+    ]
 
 
 def test_bench_ablation_mrai(benchmark):
     def sweep():
-        return {mrai: run_with_mrai(mrai) for mrai in MRAI_VALUES}
+        report = run_sweep(mrai_specs(), workers=1)
+        return {
+            mrai: result.metrics["update_counts"]["observations"]
+            for mrai, result in zip(MRAI_VALUES, report.results)
+        }
 
     volumes = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [
@@ -31,7 +45,7 @@ def test_bench_ablation_mrai(benchmark):
     print()
     print(
         render_table(
-            ("MRAI", "collected msgs"),
+            ("MRAI", "collected observations"),
             rows,
             title="Ablation A3: MRAI pacing vs message volume",
         )

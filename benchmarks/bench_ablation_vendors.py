@@ -1,62 +1,50 @@
 """Ablation A2: vendor duplicate-suppression impact at internet scale.
 
-Runs the small synthetic internet twice — once with every router
-running a non-deduplicating stack (Cisco IOS) and once all-Junos — and
-compares total message volume and the `nn` share.  The paper's §3
-summary ("only Junos prevents duplicates") predicts the all-Junos
-internet produces fewer `nn` announcements.
+Runs the registered ``internet-all-cisco`` and ``internet-all-junos``
+scenarios through the scenario engine — the same small synthetic
+internet, once with every router on a non-deduplicating stack and once
+all-Junos — and compares total announcement volume and the `nn` share.
+The paper's §3 summary ("only Junos prevents duplicates") predicts the
+all-Junos internet produces fewer `nn` announcements.
 """
 
-from repro.analysis import (
-    AnnouncementType,
-    classify_observations,
-    observations_from_collector,
-)
 from repro.reports import format_share, render_table
-from repro.vendors import CISCO_IOS, JUNOS
-from repro.workloads import InternetConfig, InternetModel
+from repro.scenarios import get_scenario, run_sweep
 
-
-def run_with_vendor(vendor):
-    config = InternetConfig.small(vendor_mix=((vendor, 1.0),))
-    day = InternetModel(config).run()
-    observations = []
-    for collector in day.collectors():
-        observations.extend(observations_from_collector(collector))
-    observations.sort(key=lambda obs: obs.timestamp)
-    return day, classify_observations(observations)
+FLEETS = {
+    "all-Cisco": "internet-all-cisco",
+    "all-Junos": "internet-all-junos",
+}
 
 
 def test_bench_ablation_vendor_dedup(benchmark):
     def sweep():
-        return {
-            "all-Cisco": run_with_vendor(CISCO_IOS),
-            "all-Junos": run_with_vendor(JUNOS),
-        }
+        report = run_sweep(
+            [get_scenario(name) for name in FLEETS.values()], workers=1
+        )
+        return dict(zip(FLEETS, report.results))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = []
-    for label, (day, counts) in results.items():
+    for label, result in results.items():
+        duplicates = result.metrics["duplicates"]
         rows.append(
             (
                 label,
-                day.total_collected_messages(),
-                counts.counts[AnnouncementType.NN],
-                format_share(counts.share(AnnouncementType.NN)),
+                result.metrics["update_counts"]["observations"],
+                duplicates["nn"],
+                format_share(duplicates["nn_share"]),
             )
         )
     print()
     print(
         render_table(
-            ("fleet", "collected msgs", "nn count", "nn share"),
+            ("fleet", "observations", "nn count", "nn share"),
             rows,
             title="Ablation A2: vendor duplicate suppression",
         )
     )
-    _, cisco_counts = results["all-Cisco"]
-    _, junos_counts = results["all-Junos"]
+    cisco_nn = results["all-Cisco"].metrics["duplicates"]["nn"]
+    junos_nn = results["all-Junos"].metrics["duplicates"]["nn"]
     # Junos's Adj-RIB-Out comparison suppresses duplicates fleet-wide.
-    assert (
-        junos_counts.counts[AnnouncementType.NN]
-        < cisco_counts.counts[AnnouncementType.NN]
-    )
+    assert junos_nn < cisco_nn

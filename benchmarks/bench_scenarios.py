@@ -1,0 +1,81 @@
+"""Scenario engine throughput: parallel sweep vs sequential.
+
+Times a 4-scenario sweep (the ``topology-tiny`` scenario over four
+seeds) twice through the scenario runner: once pinned to a single
+worker process and once with every available core.  On multi-core
+hosts the parallel sweep should approach ``cores``-fold speed-up since
+scenarios are independent CPU-bound simulations; the benchmark prints
+both wall-clocks plus the ratio so regressions in the runner's process
+fan-out show up as a shrinking speed-up.
+
+Also demonstrates (and asserts) spec-hash caching: a re-run of the same
+sweep against a warm cache must not simulate anything.
+"""
+
+import os
+
+from repro.reports import render_table
+from repro.scenarios import expand_seeds, get_scenario, run_sweep
+
+SEEDS = (1, 2, 3, 4)
+
+
+def sweep_specs():
+    return expand_seeds(get_scenario("topology-tiny"), SEEDS)
+
+
+def test_bench_scenario_sweep_parallelism(benchmark, tmp_path):
+    all_cores = os.cpu_count() or 1
+
+    def timed_sweeps():
+        sequential = run_sweep(sweep_specs(), workers=1)
+        parallel = run_sweep(sweep_specs(), workers=all_cores)
+        cold = run_sweep(
+            sweep_specs(),
+            workers=all_cores,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        warm = run_sweep(
+            sweep_specs(),
+            workers=all_cores,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        return sequential, parallel, cold, warm
+
+    sequential, parallel, cold, warm = benchmark.pedantic(
+        timed_sweeps, rounds=1, iterations=1
+    )
+    speedup = (
+        sequential.elapsed_seconds / parallel.elapsed_seconds
+        if parallel.elapsed_seconds
+        else 1.0
+    )
+    print()
+    print(
+        render_table(
+            ("run", "workers", "cache", "wall-clock"),
+            (
+                ("sequential", 1, "off", f"{sequential.elapsed_seconds:.2f}s"),
+                (
+                    "parallel",
+                    all_cores,
+                    "off",
+                    f"{parallel.elapsed_seconds:.2f}s",
+                ),
+                ("parallel", all_cores, "cold", f"{cold.elapsed_seconds:.2f}s"),
+                ("parallel", all_cores, "warm", f"{warm.elapsed_seconds:.2f}s"),
+            ),
+            title=(
+                f"Scenario sweep: {len(SEEDS)} seeds, 1 vs"
+                f" {all_cores} core(s) (speed-up {speedup:.2f}x)"
+            ),
+        )
+    )
+    # Same seeds => identical results regardless of worker count.
+    for left, right in zip(sequential.results, parallel.results):
+        assert left.spec_hash == right.spec_hash
+        assert left.metrics == right.metrics
+    # The warm re-run is served entirely from the spec-hash cache.
+    assert cold.cache_misses == len(SEEDS)
+    assert warm.cache_hits == len(SEEDS)
+    assert warm.cache_misses == 0

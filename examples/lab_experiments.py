@@ -1,17 +1,18 @@
 #!/usr/bin/env python
 """Reproduce the paper's §3 controlled lab experiments (Exp1-Exp4).
 
-Builds the Figure 1 topology (collector C1 — X1 — Y1 — {Y2,Y3} — Z1)
-with real vendor behavior profiles, disables the Y1-Y2 link, and
-reports what crosses the X1-Y1 wire and what reaches the collector —
-for every experiment and every router implementation the paper tested.
+Runs the registered ``lab-baseline`` scenario through the scenario
+engine: the Figure 1 topology (collector C1 — X1 — Y1 — {Y2,Y3} — Z1)
+with real vendor behavior profiles, the Y1-Y2 link disabled, and the
+fallout recorded for every experiment × every router implementation
+the paper tested.  The whole matrix is one declarative spec — see
+``repro scenario list`` for the catalog it lives in.
 
 Run:  python examples/lab_experiments.py
 """
 
 from repro.reports import render_table
-from repro.simulator import run_all_experiments
-from repro.vendors import ALL_PROFILES
+from repro.scenarios import get_scenario, run_scenario
 
 DESCRIPTIONS = {
     "exp1": "no communities (internal next-hop change only)",
@@ -22,18 +23,24 @@ DESCRIPTIONS = {
 
 
 def main() -> None:
-    results = run_all_experiments(ALL_PROFILES)
-    rows = [result.summary_row() for result in results]
+    result = run_scenario(get_scenario("lab-baseline"))
+    matrix = result.metrics["lab_matrix"]
     print(
         render_table(
-            ("exp", "vendor", "Y1->X1?", "collector?", "behavior"),
-            rows,
+            matrix["headers"],
+            matrix["rows"],
             title="Lab behavior matrix (paper §3, Figure 1 topology)",
         )
     )
     print()
     for experiment, description in DESCRIPTIONS.items():
         print(f"{experiment}: {description}")
+    print()
+    print(f"scenario: {result.name}  spec hash: {result.spec_hash}")
+    print(
+        f"nn duplicates reaching the collector:"
+        f" {matrix['duplicates_at_collector']} cell(s)"
+    )
     print()
     print("Paper findings reproduced:")
     print(" * Exp1: all vendors except Junos emit an update with an")

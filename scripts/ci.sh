@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI for the reproduction toolkit: tier-1 tests plus a scenario-engine
+# smoke run.  Usage: scripts/ci.sh  (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier 1: test suite =="
+python -m pytest -x -q
+
+echo
+echo "== smoke: scenario engine =="
+python -m repro scenario list >/dev/null
+python -m repro scenario run topology-tiny
+
+echo
+echo "== smoke: parallel sweep + cache =="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+python -m repro scenario sweep topology-tiny --seeds 1,2 --workers 2 \
+    --cache-dir "$CACHE_DIR"
+python -m repro scenario sweep topology-tiny --seeds 1,2 --workers 2 \
+    --cache-dir "$CACHE_DIR"
+
+echo
+echo "CI OK"

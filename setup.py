@@ -1,12 +1,29 @@
-"""Legacy setup shim.
+"""Packaging for the offline, dependency-free reproduction toolkit.
 
 The execution environment ships setuptools without the ``wheel``
-package, so PEP 517 editable installs fail on ``bdist_wheel``.  This
-shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
-fall back to ``setup.py develop``.  All metadata lives in
-``pyproject.toml``.
+package, so PEP 517 editable installs fail on ``bdist_wheel``; all
+metadata therefore lives right here and
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back
+to ``setup.py develop``.  The ``repro`` console script fronts the same
+entry point as ``python -m repro`` / ``python -m repro.cli``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-conext-krencbs20",
+    version="0.2.0",
+    description=(
+        "Reproduction toolkit for 'Keep your Communities Clean'"
+        " (CoNEXT 2020): BGP simulator, MRT pipeline, announcement-type"
+        " analysis and a declarative scenario engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ]
+    },
+)

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the same CLI as ``python -m repro.cli``."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -36,12 +36,17 @@ class BeaconOrigin:
         self.anchor_prefix = anchor_prefix
         self._scheduled_events: List = []
 
-    def schedule_day(self, day_start: float) -> int:
+    def schedule_day(
+        self, day_start: float, *, until: "float | None" = None
+    ) -> int:
         """Queue all announce/withdraw events for one UTC day.
 
         Returns the number of events scheduled.  Phases whose start is
         already in the past (relative to the simulation clock) are
-        skipped so the agent can be installed mid-day.
+        skipped so the agent can be installed mid-day; phases starting
+        at or after ``until`` are skipped so a shortened measurement
+        window (:attr:`InternetConfig.day_seconds`) truncates the
+        beacon cycle too.
         """
         network = self.router._network
         now = network.queue.now
@@ -53,6 +58,8 @@ class BeaconOrigin:
             self.router.originate(self.anchor_prefix)
         for phase in self.schedule.phases_for_day(day_start):
             if phase.start < now:
+                continue
+            if until is not None and phase.start >= until:
                 continue
             if phase.kind == PhaseKind.ANNOUNCE:
                 action = self._announce

@@ -1,20 +1,24 @@
 """Command-line tools.
 
-Three subcommands mirror the three ways people use the library:
+Four subcommands mirror the ways people use the library:
 
 * ``repro lab [--vendor VENDOR]`` — run the §3 lab experiment matrix;
 * ``repro classify FILE [--collector NAME]`` — classify announcement
   types in an MRT update archive (real RouteViews/RIS files work);
 * ``repro simulate [--scale small|mar20] [--seed N]`` — simulate one
-  measurement day and print Table 1 + Table 2.
+  measurement day and print Table 1 + Table 2;
+* ``repro scenario list|run|sweep`` — the declarative scenario engine:
+  browse the registry, run one named scenario (or a JSON spec file),
+  or run a multi-seed sweep in parallel with result caching.
 
-Installed as ``python -m repro.cli`` (no console-script entry point is
-registered, keeping the offline install dependency-free).
+Runs as ``repro`` (console script), ``python -m repro`` or
+``python -m repro.cli``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -68,17 +72,98 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--seed", type=int, default=None, help="override the RNG seed"
     )
+
+    scenario = subparsers.add_parser(
+        "scenario", help="declarative scenario engine"
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list the registered scenarios"
+    )
+    scenario_list.add_argument(
+        "--kind",
+        choices=("lab", "internet"),
+        default=None,
+        help="restrict to one scenario kind",
+    )
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario and print its metrics"
+    )
+    scenario_run.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered scenario name (or use --spec-file)",
+    )
+    scenario_run.add_argument(
+        "--spec-file",
+        default=None,
+        help="run a JSON scenario spec instead of a registry entry",
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None, help="override the spec seed"
+    )
+    scenario_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full result as JSON instead of tables",
+    )
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="run a multi-seed sweep in parallel"
+    )
+    scenario_sweep.add_argument("name", help="registered scenario name")
+    scenario_sweep.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated seed list (e.g. 1,2,3)",
+    )
+    scenario_sweep.add_argument(
+        "--seed-count",
+        type=int,
+        default=4,
+        help="number of consecutive seeds when --seeds is absent",
+    )
+    scenario_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: all cores)",
+    )
+    scenario_sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (re-runs are served from cache)",
+    )
+    scenario_sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit all results as JSON instead of tables",
+    )
     return parser
 
 
 def main(argv: "Optional[Sequence[str]]" = None) -> int:
     """CLI entry point; returns the process exit code."""
     arguments = build_parser().parse_args(argv)
-    if arguments.command == "lab":
-        return _run_lab(arguments)
-    if arguments.command == "classify":
-        return _run_classify(arguments)
-    return _run_simulate(arguments)
+    try:
+        if arguments.command == "lab":
+            return _run_lab(arguments)
+        if arguments.command == "classify":
+            return _run_classify(arguments)
+        if arguments.command == "scenario":
+            return _run_scenario_command(arguments)
+        return _run_simulate(arguments)
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly instead
+        # of tracebacking (and keep the interpreter's shutdown flush
+        # from re-raising).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 def _run_lab(arguments) -> int:
@@ -139,6 +224,232 @@ def _run_simulate(arguments) -> int:
     observations.sort(key=lambda obs: obs.timestamp)
     _print_day_tables(observations, beacons=set(day.beacon_prefixes))
     return 0
+
+
+def _run_scenario_command(arguments) -> int:
+    if arguments.scenario_command == "list":
+        return _scenario_list(arguments)
+    if arguments.scenario_command == "run":
+        return _scenario_run(arguments)
+    return _scenario_sweep(arguments)
+
+
+def _scenario_list(arguments) -> int:
+    from repro.scenarios import all_scenarios
+
+    rows = [
+        (spec.name, spec.kind, str(spec.seed), spec.description)
+        for spec in all_scenarios()
+        if arguments.kind is None or spec.kind == arguments.kind
+    ]
+    print(
+        render_table(
+            ("name", "kind", "seed", "description"),
+            rows,
+            title=f"Registered scenarios ({len(rows)})",
+        )
+    )
+    return 0
+
+
+def _load_run_spec(arguments) -> "tuple[object, Optional[str]]":
+    """Resolve the spec for ``scenario run``; returns (spec, error)."""
+    from dataclasses import replace
+
+    from repro.scenarios import get_scenario, spec_from_json
+
+    if (arguments.name is None) == (arguments.spec_file is None):
+        return None, "provide exactly one of NAME or --spec-file"
+    if arguments.spec_file is not None:
+        try:
+            with open(arguments.spec_file, "r", encoding="utf-8") as handle:
+                spec = spec_from_json(handle.read())
+        except OSError as exc:
+            return None, f"cannot open {arguments.spec_file}: {exc}"
+        except ValueError as exc:
+            return None, str(exc)
+    else:
+        spec = get_scenario(arguments.name)
+    if arguments.seed is not None:
+        spec = replace(spec, seed=arguments.seed)
+    return spec, None
+
+
+def _scenario_run(arguments) -> int:
+    from repro.scenarios import (
+        ScenarioValidationError,
+        UnknownScenarioError,
+        result_to_json,
+        run_scenario,
+    )
+
+    try:
+        spec, error = _load_run_spec(arguments)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        result = run_scenario(spec)
+    except (UnknownScenarioError, ScenarioValidationError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(message, file=sys.stderr)
+        return 2
+    if arguments.json:
+        print(result_to_json(result, indent=2))
+        return 0
+    print(
+        f"scenario {result.name} [{spec.kind}]"
+        f" seed={spec.seed} hash={result.spec_hash}"
+    )
+    _print_scenario_metrics(result)
+    return 0
+
+
+def _scenario_sweep(arguments) -> int:
+    import json
+
+    from repro.scenarios import (
+        ScenarioValidationError,
+        UnknownScenarioError,
+        expand_seeds,
+        get_scenario,
+        result_to_json,
+        run_sweep,
+    )
+
+    try:
+        base = get_scenario(arguments.name)
+        if arguments.seeds is not None:
+            seeds = [
+                int(part)
+                for part in arguments.seeds.split(",")
+                if part.strip()
+            ]
+        else:
+            seeds = list(
+                range(base.seed, base.seed + arguments.seed_count)
+            )
+        if not seeds:
+            print("no seeds to sweep", file=sys.stderr)
+            return 2
+        specs = expand_seeds(base, seeds)
+        report = run_sweep(
+            specs,
+            workers=arguments.workers,
+            cache_dir=arguments.cache_dir,
+        )
+    except (UnknownScenarioError, ScenarioValidationError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(message, file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"bad sweep arguments: {exc}", file=sys.stderr)
+        return 2
+    if arguments.json:
+        payload = [
+            json.loads(result_to_json(result)) for result in report.results
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (result.name, result.spec_hash, _sweep_summary(result))
+        for result in report.results
+    ]
+    print(
+        render_table(
+            ("scenario", "spec hash", "summary"),
+            rows,
+            title=(
+                f"Sweep of {arguments.name}: {len(seeds)} seeds,"
+                f" {report.workers} worker(s)"
+            ),
+        )
+    )
+    print(
+        f"cache: {report.cache_hits} hit(s), {report.cache_misses}"
+        f" miss(es); wall-clock {report.elapsed_seconds:.2f}s"
+    )
+    return 0
+
+
+def _sweep_summary(result) -> str:
+    """One-line headline metric for a sweep row."""
+    counts = result.metrics.get("update_counts")
+    if counts is not None:
+        return (
+            f"{counts['announcements']} ann /"
+            f" {counts['withdrawals']} wd"
+        )
+    matrix = result.metrics.get("lab_matrix")
+    if matrix is not None:
+        return (
+            f"{len(matrix['rows'])} cells,"
+            f" {matrix['duplicates_at_collector']} duplicate(s)"
+        )
+    return ", ".join(sorted(result.metrics)) or "-"
+
+
+def _print_scenario_metrics(result) -> None:
+    """Render each collector's metrics as paper-shaped tables."""
+    for name in result.spec.collectors:
+        metrics = result.metrics.get(name, {})
+        print()
+        if name == "lab_matrix":
+            print(
+                render_table(
+                    metrics["headers"],
+                    metrics["rows"],
+                    title="Lab behavior matrix (paper §3)",
+                )
+            )
+            continue
+        if name == "table2":
+            rows = [
+                (code, format_share(share))
+                for code, share in metrics["full_shares"].items()
+            ]
+            print(
+                render_table(
+                    ("type", "share"),
+                    rows,
+                    title="Table 2: announcement types",
+                )
+            )
+            if metrics.get("beacon_shares"):
+                beacon_rows = [
+                    (code, format_share(share))
+                    for code, share in metrics["beacon_shares"].items()
+                ]
+                print(
+                    render_table(
+                        ("type", "share"),
+                        beacon_rows,
+                        title="Table 2: beacon subset",
+                    )
+                )
+            continue
+        rows = [
+            (key, _format_metric_value(value))
+            for key, value in metrics.items()
+            if not isinstance(value, (dict, list))
+        ]
+        for key, value in metrics.items():
+            if isinstance(value, dict):
+                rows.extend(
+                    (f"{key}.{sub}", _format_metric_value(item))
+                    for sub, item in value.items()
+                    if not isinstance(item, (dict, list))
+                )
+        print(render_kv_table(rows, title=f"Collector: {name}"))
+
+
+def _format_metric_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
 
 
 def _print_day_tables(observations, *, beacons=None) -> None:

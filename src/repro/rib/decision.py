@@ -23,6 +23,7 @@ returns the same winner, which the property-based tests exploit.
 from __future__ import annotations
 
 import ipaddress
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -156,7 +157,10 @@ class DecisionProcess:
             try:
                 return (1, int(ipaddress.IPv4Address(route.peer_id)))
             except ipaddress.AddressValueError:
-                return (2, hash(route.peer_id) & 0xFFFFFFFF)
+                # crc32, not hash(): a salted hash would make this tie
+                # breaker — and thus route selection — vary between
+                # interpreter runs.
+                return (2, zlib.crc32(str(route.peer_id).encode("utf-8")))
 
         best = min(router_id_key(route) for route in pool)
         return [r for r in pool if router_id_key(r) == best]

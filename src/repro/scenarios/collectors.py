@@ -1,0 +1,378 @@
+"""Pluggable metric collectors for the scenario engine.
+
+Mirrors the ``CollectorProxy`` shape of simulation frameworks like
+Icarus: the engine owns one :class:`CollectorProxy` that fans every
+event out to the collectors the spec named, and each collector distils
+its own slice of the run into a plain JSON-friendly ``dict``.  Keeping
+results as plain data is what makes the parallel runner's caching and
+cross-process determinism checks trivial.
+
+Two event streams exist:
+
+* internet scenarios feed per-prefix :class:`Observation` objects (the
+  same stream the analysis layer consumes);
+* lab scenarios feed one :class:`ExperimentResult` per
+  experiment × vendor cell.
+
+A collector implements whichever hooks it cares about; unused hooks
+are no-ops, so a `"table2"` collector silently collects nothing on a
+lab run instead of crashing it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.analysis.classify import (
+    TYPE_ORDER,
+    AnnouncementType,
+    UpdateClassifier,
+)
+from repro.analysis.observations import Observation
+from repro.analysis.tables import build_table1, build_table2
+
+
+class ScenarioContext:
+    """Run-scoped facts collectors may need (beacons, spec, day)."""
+
+    def __init__(self, spec, *, beacon_prefixes=None, day=None):
+        self.spec = spec
+        self.beacon_prefixes = set(beacon_prefixes or ())
+        #: The :class:`SimulatedDay` for internet runs, else ``None``.
+        self.day = day
+
+
+class MetricCollector:
+    """Base collector: subclass and override the hooks you need."""
+
+    #: Registry key; subclasses must set it.
+    name: str = ""
+
+    def start(self, context: ScenarioContext) -> None:
+        """Called once before any event is delivered."""
+
+    def observe(self, observation: Observation) -> None:
+        """One per-prefix collector observation (internet runs)."""
+
+    def observe_lab(self, result) -> None:
+        """One lab :class:`ExperimentResult` (lab runs)."""
+
+    def finish(self) -> dict:
+        """Return this collector's metrics as a JSON-friendly dict."""
+        return {}
+
+
+class CollectorProxy:
+    """Fans events out to every attached collector."""
+
+    def __init__(self, collectors: "Iterable[MetricCollector]"):
+        self.collectors: "List[MetricCollector]" = list(collectors)
+
+    def start(self, context: ScenarioContext) -> None:
+        for collector in self.collectors:
+            collector.start(context)
+
+    def observe(self, observation: Observation) -> None:
+        for collector in self.collectors:
+            collector.observe(observation)
+
+    def observe_lab(self, result) -> None:
+        for collector in self.collectors:
+            collector.observe_lab(result)
+
+    def finish(self) -> "Dict[str, dict]":
+        return {
+            collector.name: collector.finish()
+            for collector in self.collectors
+        }
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_COLLECTORS: "Dict[str, Type[MetricCollector]]" = {}
+
+
+def collector(cls: "Type[MetricCollector]") -> "Type[MetricCollector]":
+    """Class decorator registering a collector under its ``name``."""
+    if not cls.name:
+        raise ValueError(f"collector {cls.__name__} must set a name")
+    if cls.name in _COLLECTORS:
+        raise ValueError(f"duplicate collector name: {cls.name!r}")
+    _COLLECTORS[cls.name] = cls
+    return cls
+
+
+def known_collector_names() -> "List[str]":
+    """All registered collector names, sorted."""
+    return sorted(_COLLECTORS)
+
+
+def make_collectors(names: "Iterable[str]") -> CollectorProxy:
+    """Instantiate a proxy for the named collectors (spec order)."""
+    instances = []
+    for name in names:
+        try:
+            instances.append(_COLLECTORS[name]())
+        except KeyError:
+            raise KeyError(
+                f"unknown collector {name!r}; known:"
+                f" {', '.join(known_collector_names())}"
+            ) from None
+    return CollectorProxy(instances)
+
+
+# ----------------------------------------------------------------------
+# built-in collectors
+# ----------------------------------------------------------------------
+@collector
+class UpdateCountsCollector(MetricCollector):
+    """Announcement/withdrawal volume plus the §5 type break-down."""
+
+    name = "update_counts"
+
+    def __init__(self):
+        self._classifier = UpdateClassifier()
+        self._observations = 0
+
+    def observe(self, observation: Observation) -> None:
+        self._observations += 1
+        self._classifier.observe(observation)
+
+    def finish(self) -> dict:
+        counts = self._classifier.counts
+        return {
+            "observations": self._observations,
+            "announcements": counts.announcements_total,
+            "withdrawals": counts.withdrawals,
+            "types": {
+                kind.value: counts.counts[kind] for kind in TYPE_ORDER
+            },
+        }
+
+
+@collector
+class CommunityPrevalenceCollector(MetricCollector):
+    """How widespread communities are in the collected feed."""
+
+    name = "community_prevalence"
+
+    def __init__(self):
+        self._announcements = 0
+        self._with_communities = 0
+        self._unique_16bit = set()
+
+    def observe(self, observation: Observation) -> None:
+        if not observation.is_announcement:
+            return
+        self._announcements += 1
+        if observation.communities.is_empty():
+            return
+        self._with_communities += 1
+        for community in observation.communities.classic:
+            self._unique_16bit.add(community.value)
+
+    def finish(self) -> dict:
+        share = (
+            self._with_communities / self._announcements
+            if self._announcements
+            else 0.0
+        )
+        return {
+            "announcements": self._announcements,
+            "with_communities": self._with_communities,
+            "community_share": share,
+            "unique_16bit_communities": len(self._unique_16bit),
+        }
+
+
+@collector
+class DuplicatesCollector(MetricCollector):
+    """Duplicate (`nn`) and community-only (`nc`) announcement rates —
+    the paper's headline spurious-update metric."""
+
+    name = "duplicates"
+
+    def __init__(self):
+        self._classifier = UpdateClassifier()
+
+    def observe(self, observation: Observation) -> None:
+        self._classifier.observe(observation)
+
+    def finish(self) -> dict:
+        counts = self._classifier.counts
+        total = counts.classified_total
+        nn = counts.counts[AnnouncementType.NN]
+        nc = counts.counts[AnnouncementType.NC]
+        return {
+            "classified": total,
+            "nn": nn,
+            "nc": nc,
+            "nn_share": nn / total if total else 0.0,
+            "nc_share": nc / total if total else 0.0,
+            "spurious_share": (nn + nc) / total if total else 0.0,
+        }
+
+
+@collector
+class Table1Collector(MetricCollector):
+    """The paper's Table 1 dataset overview."""
+
+    name = "table1"
+
+    def __init__(self):
+        self._observations: "List[Observation]" = []
+
+    def observe(self, observation: Observation) -> None:
+        self._observations.append(observation)
+
+    def finish(self) -> dict:
+        table = build_table1(self._observations)
+        return {
+            "ipv4_prefixes": table.ipv4_prefixes,
+            "ipv6_prefixes": table.ipv6_prefixes,
+            "ases": table.ases,
+            "sessions": table.sessions,
+            "peers": table.peers,
+            "announcements": table.announcements,
+            "with_communities": table.with_communities,
+            "unique_16bit_communities": table.unique_16bit_communities,
+            "unique_as_paths": table.unique_as_paths,
+            "withdrawals": table.withdrawals,
+            "community_share": table.community_share,
+        }
+
+
+@collector
+class Table2Collector(MetricCollector):
+    """The paper's Table 2 announcement-type shares (full + beacons)."""
+
+    name = "table2"
+
+    def __init__(self):
+        self._observations: "List[Observation]" = []
+        self._beacons = set()
+
+    def start(self, context: ScenarioContext) -> None:
+        self._beacons = set(context.beacon_prefixes)
+
+    def observe(self, observation: Observation) -> None:
+        self._observations.append(observation)
+
+    def finish(self) -> dict:
+        table = build_table2(
+            self._observations, self._beacons if self._beacons else None
+        )
+        full = {
+            kind.value: table.full.share(kind) for kind in TYPE_ORDER
+        }
+        beacon = (
+            {kind.value: table.beacon.share(kind) for kind in TYPE_ORDER}
+            if table.beacon is not None
+            else None
+        )
+        return {
+            "full_shares": full,
+            "beacon_shares": beacon,
+            "classified": table.full.classified_total,
+        }
+
+
+@collector
+class DampingReplayCollector(MetricCollector):
+    """What an RFC 2439 damper at the collector edge would withhold.
+
+    Replays the feed through a per-session :class:`RouteDamper` exactly
+    like the A5 ablation: type changes accrue penalty, and every
+    announcement landing inside a suppression window counts as damped.
+    """
+
+    name = "damping"
+
+    def __init__(self):
+        from repro.simulator.damping import RouteDamper
+
+        self._damper = RouteDamper()
+        self._classifier = UpdateClassifier()
+        self._passed = {kind: 0 for kind in AnnouncementType}
+        self._suppressed = {kind: 0 for kind in AnnouncementType}
+
+    def observe(self, observation: Observation) -> None:
+        key = str(observation.session)
+        announcement_type = self._classifier.observe(observation)
+        if observation.is_withdrawal:
+            self._damper.penalize(
+                key,
+                observation.prefix,
+                observation.timestamp,
+                is_withdrawal=True,
+            )
+            return
+        if announcement_type is None:
+            return
+        if announcement_type != AnnouncementType.NN:
+            self._damper.penalize(
+                key,
+                observation.prefix,
+                observation.timestamp,
+                is_withdrawal=False,
+            )
+        if self._damper.is_suppressed(
+            key, observation.prefix, observation.timestamp
+        ):
+            self._suppressed[announcement_type] += 1
+        else:
+            self._passed[announcement_type] += 1
+
+    def finish(self) -> dict:
+        total = sum(self._passed.values()) + sum(
+            self._suppressed.values()
+        )
+        damped = sum(self._suppressed.values())
+        return {
+            "announcements": total,
+            "damped": damped,
+            "damped_share": damped / total if total else 0.0,
+            "damped_by_type": {
+                kind.value: self._suppressed[kind] for kind in TYPE_ORDER
+            },
+            "suppress_events": self._damper.suppressions,
+            "releases": self._damper.releases,
+        }
+
+
+@collector
+class LabMatrixCollector(MetricCollector):
+    """The §3 behavior matrix: one row per experiment × vendor."""
+
+    name = "lab_matrix"
+
+    def __init__(self):
+        self._rows: "List[List[str]]" = []
+        self._cells: "List[dict]" = []
+
+    def observe_lab(self, result) -> None:
+        self._rows.append(list(result.summary_row()))
+        self._cells.append(
+            {
+                "experiment": result.experiment,
+                "vendor": result.vendor,
+                "update_sent_y1_to_x1": result.update_sent_y1_to_x1,
+                "update_reached_collector": result.update_reached_collector,
+                "collector_saw_community_change": (
+                    result.collector_saw_community_change
+                ),
+                "collector_saw_duplicate": result.collector_saw_duplicate,
+                "collector_messages": len(result.collector_messages),
+            }
+        )
+
+    def finish(self) -> dict:
+        return {
+            "headers": ["exp", "vendor", "Y1->X1", "collector", "behavior"],
+            "rows": self._rows,
+            "cells": self._cells,
+            "duplicates_at_collector": sum(
+                1 for cell in self._cells if cell["collector_saw_duplicate"]
+            ),
+        }

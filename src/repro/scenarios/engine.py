@@ -1,0 +1,162 @@
+"""The scenario engine: one entry point from spec to results.
+
+:func:`run_scenario` is the single execution path every driver —
+CLI, examples, benchmarks, the parallel sweep runner — goes through:
+
+1. validate the spec upfront (:meth:`ScenarioSpec.validate`);
+2. instantiate the workload: the §3 lab matrix
+   (:class:`repro.simulator.experiments.LabTopology`) or one synthetic
+   internet day (:class:`repro.workloads.InternetModel`);
+3. attach the spec's metric collectors through a
+   :class:`CollectorProxy` and stream every event through them;
+4. return a :class:`ScenarioResult` whose ``metrics`` are plain
+   JSON-friendly data, keyed by collector name.
+
+Results carry the spec and its stable hash, so a result is a complete,
+reproducible record of what ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.scenarios.collectors import (
+    CollectorProxy,
+    ScenarioContext,
+    make_collectors,
+)
+from repro.scenarios.serialize import spec_hash
+from repro.scenarios.spec import InternetSpec, LabSpec, ScenarioSpec
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    #: Stable hash of the spec (cache key / provenance).
+    spec_hash: str
+    #: Collector name -> that collector's metrics dict.
+    metrics: "Dict[str, dict]" = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """The scenario name."""
+        return self.spec.name
+
+    def metric(self, collector: str, key: str, default=None):
+        """Convenience lookup: ``metrics[collector][key]``."""
+        return self.metrics.get(collector, {}).get(key, default)
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Validate and execute one scenario."""
+    spec.validate()
+    proxy = make_collectors(spec.collectors)
+    if spec.kind == "lab":
+        _run_lab(spec, proxy)
+    else:
+        _run_internet(spec, proxy)
+    return ScenarioResult(
+        spec=spec, spec_hash=spec_hash(spec), metrics=proxy.finish()
+    )
+
+
+# ----------------------------------------------------------------------
+# lab scenarios
+# ----------------------------------------------------------------------
+def _run_lab(spec: ScenarioSpec, proxy: CollectorProxy) -> None:
+    from repro.simulator.experiments import run_experiment
+    from repro.vendors.profiles import profile_by_name
+
+    lab = spec.lab or LabSpec()
+    proxy.start(ScenarioContext(spec))
+    for experiment in lab.experiments:
+        for vendor_name in lab.vendors:
+            result = run_experiment(
+                experiment,
+                profile_by_name(vendor_name),
+                mrai=lab.mrai,
+            )
+            proxy.observe_lab(result)
+
+
+# ----------------------------------------------------------------------
+# internet scenarios
+# ----------------------------------------------------------------------
+def _run_internet(spec: ScenarioSpec, proxy: CollectorProxy) -> None:
+    from repro.analysis import observations_from_collector
+    from repro.workloads import InternetModel
+
+    config = internet_config_from_spec(spec)
+    day = InternetModel(config).run()
+    observations = []
+    for collector in day.collectors():
+        observations.extend(observations_from_collector(collector))
+    observations.sort(key=lambda obs: obs.timestamp)
+    proxy.start(
+        ScenarioContext(
+            spec, beacon_prefixes=set(day.beacon_prefixes), day=day
+        )
+    )
+    for observation in observations:
+        proxy.observe(observation)
+
+
+def internet_config_from_spec(spec: ScenarioSpec):
+    """Materialize an :class:`InternetConfig` from an internet spec.
+
+    The spec's ``scale`` picks the base configuration; only explicitly
+    overridden fields are applied on top, and the scenario ``seed``
+    always drives the day's randomness.  The topology seed stays pinned
+    to the base scale unless ``topology_seed`` overrides it, so N-seed
+    sweeps rerun the *same* internet under different event randomness.
+    """
+    from repro.vendors.profiles import profile_by_name
+    from repro.workloads import InternetConfig
+
+    section = spec.internet or InternetSpec()
+    if section.scale == "small":
+        config = InternetConfig.small()
+    else:
+        config = InternetConfig.mar20()
+    config.seed = spec.seed
+    if spec.duration is not None:
+        config.day_seconds = float(spec.duration)
+    topology = config.topology
+    if section.topology_seed is not None:
+        topology.seed = section.topology_seed
+    for label in ("tier1_count", "transit_count", "stub_count"):
+        value = getattr(section, label)
+        if value is not None:
+            setattr(topology, label, value)
+    if section.vendor_mix is not None:
+        total = sum(weight for _, weight in section.vendor_mix)
+        config.vendor_mix = tuple(
+            (profile_by_name(name), weight / total)
+            for name, weight in section.vendor_mix
+        )
+    passthrough = (
+        "tagger_fraction",
+        "cleaner_egress_fraction",
+        "cleaner_ingress_fraction",
+        "scrub_internal_fraction",
+        "collector_peer_fraction",
+        "collector_peer_clean_fraction",
+        "include_route_server",
+        "include_bogons",
+        "beacon_count",
+        "link_flaps",
+        "prefix_flaps",
+        "med_churn_events",
+        "community_churn_events",
+        "prepend_change_events",
+        "collector_session_resets",
+        "mrai",
+    )
+    for label in passthrough:
+        value = getattr(section, label)
+        if value is not None:
+            setattr(config, label, value)
+    return config

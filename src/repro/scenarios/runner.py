@@ -1,0 +1,192 @@
+"""Parallel sweep runner with per-spec result caching.
+
+A sweep is just a list of specs — typically one scenario expanded over
+N seeds (:func:`expand_seeds`) or several registry entries.  The runner
+farms misses out to a process pool (simulations are pure Python and
+CPU-bound, so threads would serialize on the GIL) and keys a JSON
+result cache on the stable spec hash, so re-running a sweep is free and
+adding one seed only computes one new cell.
+
+Worker processes exchange nothing but JSON strings: the parent sends a
+serialized spec, the child returns a serialized result.  That keeps the
+multiprocessing surface tiny and doubles as a cross-process
+determinism check — identical specs must produce byte-identical
+payloads no matter which worker ran them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.serialize import (
+    result_from_json,
+    result_to_json,
+    spec_from_json,
+    spec_hash,
+    spec_to_json,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+
+#: Cache-entry format/behavior version.  Bump whenever simulation or
+#: collector output changes for an unchanged spec, so persistent
+#: ``--cache-dir`` trees from older toolkit versions are recomputed
+#: instead of silently served as current numbers.
+CACHE_VERSION = "v1"
+
+
+def expand_seeds(
+    spec: ScenarioSpec, seeds: "Iterable[int]"
+) -> "List[ScenarioSpec]":
+    """One spec variant per seed, named ``<name>@seed<seed>``."""
+    return [
+        replace(spec, name=f"{spec.name}@seed{seed}", seed=seed)
+        for seed in seeds
+    ]
+
+
+def _run_spec_json(spec_json: str) -> str:
+    """Process-pool entry point: JSON spec in, JSON result out."""
+    return result_to_json(run_scenario(spec_from_json(spec_json)))
+
+
+@dataclass
+class SweepReport:
+    """Results plus bookkeeping for one sweep invocation."""
+
+    results: "List[ScenarioResult]"
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+    cache_dir: "Optional[str]" = None
+
+    def by_name(self) -> "Dict[str, ScenarioResult]":
+        """Results keyed by scenario name."""
+        return {result.name: result for result in self.results}
+
+
+class SweepRunner:
+    """Runs spec batches, in parallel, through the result cache."""
+
+    def __init__(
+        self,
+        *,
+        workers: "Optional[int]" = None,
+        cache_dir: "Optional[str]" = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.cache_dir = cache_dir
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, digest: str) -> "Optional[str]":
+        if self.cache_dir is None:
+            return None
+        return os.path.join(
+            self.cache_dir, f"{digest}.{CACHE_VERSION}.json"
+        )
+
+    def _cache_load(self, digest: str) -> "Optional[ScenarioResult]":
+        path = self._cache_path(digest)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return result_from_json(handle.read())
+        except (OSError, ValueError, KeyError):
+            return None  # corrupt entry: recompute and overwrite
+
+    def _cache_store(self, digest: str, payload: str) -> None:
+        path = self._cache_path(digest)
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(temporary, path)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, specs: "Sequence[ScenarioSpec]") -> SweepReport:
+        """Run every spec; cached cells are served without simulating."""
+        started = time.perf_counter()
+        for spec in specs:
+            spec.validate()
+        digests = [spec_hash(spec) for spec in specs]
+        slots: "List[Optional[ScenarioResult]]" = [None] * len(specs)
+        report = SweepReport(
+            results=[], workers=self.workers, cache_dir=self.cache_dir
+        )
+
+        pending: "List[int]" = []
+        computed: "Dict[str, ScenarioResult]" = {}
+        for index, digest in enumerate(digests):
+            cached = self._cache_load(digest)
+            if cached is not None:
+                slots[index] = cached
+                report.cache_hits += 1
+            else:
+                pending.append(index)
+
+        unique_pending: "Dict[str, int]" = {}
+        for index in pending:
+            unique_pending.setdefault(digests[index], index)
+        report.cache_misses = len(unique_pending)
+
+        payloads = {
+            digest: spec_to_json(specs[index], indent=None)
+            for digest, index in unique_pending.items()
+        }
+        outputs = self._execute(list(payloads.items()))
+        for digest, result_json in outputs.items():
+            self._cache_store(digest, result_json)
+            computed[digest] = result_from_json(result_json)
+        for index in pending:
+            slots[index] = computed[digests[index]]
+        report.results = [slot for slot in slots if slot is not None]
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _execute(
+        self, jobs: "List[tuple[str, str]]"
+    ) -> "Dict[str, str]":
+        """Run (digest, spec JSON) jobs; return digest -> result JSON."""
+        if not jobs:
+            return {}
+        if self.workers == 1 or len(jobs) == 1:
+            return {
+                digest: _run_spec_json(spec_json)
+                for digest, spec_json in jobs
+            }
+        outputs: "Dict[str, str]" = {}
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(jobs))
+        ) as pool:
+            futures = {
+                digest: pool.submit(_run_spec_json, spec_json)
+                for digest, spec_json in jobs
+            }
+            for digest, future in futures.items():
+                outputs[digest] = future.result()
+        return outputs
+
+
+def run_sweep(
+    specs: "Sequence[ScenarioSpec]",
+    *,
+    workers: "Optional[int]" = None,
+    cache_dir: "Optional[str]" = None,
+) -> SweepReport:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(workers=workers, cache_dir=cache_dir).run(specs)

@@ -1,0 +1,152 @@
+"""Spec/result JSON round-trip and stable spec hashing.
+
+Scenario specs travel three ways: to disk (reproducible run recipes),
+to worker processes (the parallel runner pickles nothing but JSON
+strings) and into the result cache key.  All three use the same
+canonical dict form produced here, so a spec that round-trips through
+JSON hashes identically to the original.
+
+The hash deliberately covers every behavior-affecting field (kind,
+seed, duration, collectors, every knob) but *not* ``description``,
+which is pure documentation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, fields
+from typing import Any, Dict
+
+from repro.scenarios.spec import (
+    InternetSpec,
+    LabSpec,
+    ScenarioSpec,
+    ScenarioValidationError,
+)
+
+
+# ----------------------------------------------------------------------
+# spec <-> dict / JSON
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: ScenarioSpec) -> "Dict[str, Any]":
+    """Canonical plain-data form of a spec (JSON-ready)."""
+    return _plain(asdict(spec))
+
+
+def spec_from_dict(data: "Dict[str, Any]") -> ScenarioSpec:
+    """Rebuild a spec from its dict form; strict about field names."""
+    if not isinstance(data, dict):
+        raise ScenarioValidationError(
+            "<payload>", [f"spec payload must be an object, got {type(data).__name__}"]
+        )
+    payload = dict(data)
+    errors = []
+    lab = payload.pop("lab", None)
+    internet = payload.pop("internet", None)
+    known = {item.name for item in fields(ScenarioSpec)}
+    unknown = set(payload) - known
+    for key in sorted(unknown):
+        errors.append(f"unknown spec field {key!r}")
+        payload.pop(key)
+    lab_spec = _section_from_dict(LabSpec, lab, "lab", errors)
+    internet_spec = _section_from_dict(
+        InternetSpec, internet, "internet", errors
+    )
+    for required in ("name", "kind"):
+        if required not in payload:
+            errors.append(f"missing required spec field {required!r}")
+    if errors:
+        raise ScenarioValidationError(
+            str(data.get("name", "<unnamed>")), errors
+        )
+    if "collectors" in payload:
+        payload["collectors"] = tuple(payload["collectors"])
+    return ScenarioSpec(lab=lab_spec, internet=internet_spec, **payload)
+
+
+def _section_from_dict(cls, data, label, errors):
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        errors.append(f"{label} section must be an object, got {data!r}")
+        return None
+    known = {item.name for item in fields(cls)}
+    payload = {}
+    for key, value in data.items():
+        if key not in known:
+            errors.append(f"unknown {label} field {key!r}")
+            continue
+        payload[key] = _tuplify(value)
+    return cls(**payload)
+
+
+def _tuplify(value):
+    """Lists (from JSON) become tuples so specs stay hashable/frozen."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _plain(value):
+    """Tuples become lists so the dict form is JSON-canonical."""
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
+
+
+def spec_to_json(spec: ScenarioSpec, *, indent: "int | None" = 2) -> str:
+    """Serialize a spec to JSON text."""
+    return json.dumps(spec_to_dict(spec), indent=indent, sort_keys=True)
+
+
+def spec_from_json(text: str) -> ScenarioSpec:
+    """Parse a spec from JSON text."""
+    return spec_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# hashing
+# ----------------------------------------------------------------------
+def spec_hash(spec: ScenarioSpec) -> str:
+    """Stable short hash keying caches and result provenance."""
+    data = spec_to_dict(spec)
+    data.pop("description", None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# result <-> dict / JSON
+# ----------------------------------------------------------------------
+def result_to_dict(result) -> "Dict[str, Any]":
+    """Self-contained plain-data form of a :class:`ScenarioResult`."""
+    return {
+        "spec": spec_to_dict(result.spec),
+        "spec_hash": result.spec_hash,
+        "metrics": _plain(result.metrics),
+    }
+
+
+def result_from_dict(data: "Dict[str, Any]"):
+    """Rebuild a :class:`ScenarioResult` from its dict form."""
+    from repro.scenarios.engine import ScenarioResult
+
+    spec = spec_from_dict(data["spec"])
+    return ScenarioResult(
+        spec=spec,
+        spec_hash=data["spec_hash"],
+        metrics=data["metrics"],
+    )
+
+
+def result_to_json(result, *, indent: "int | None" = None) -> str:
+    """Serialize a result to JSON text."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def result_from_json(text: str):
+    """Parse a result from JSON text."""
+    return result_from_dict(json.loads(text))

@@ -12,6 +12,7 @@ must disambiguate (§4).
 from __future__ import annotations
 
 import io
+import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterator, List, Optional
 
@@ -49,7 +50,12 @@ class RouteCollector:
         self._network = network
         self.name = name
         self.asn = ASN(asn)
-        self.router_id = f"198.51.100.{1 + (hash(name) % 200)}"
+        # crc32, not hash(): str hashing is salted per process, and the
+        # router id must be identical across interpreter runs for
+        # bit-reproducible archives.
+        self.router_id = (
+            f"198.51.100.{1 + (zlib.crc32(name.encode('utf-8')) % 200)}"
+        )
         self._sessions: List[BGPSession] = []
         self._records: List[CollectedMessage] = []
 

@@ -82,10 +82,12 @@ class InternetConfig:
     day_start: float = field(
         default_factory=lambda: parse_utc("2020-03-15")
     )
-    #: Community practice fractions among transit/tier-1 ASes.
+    #: Community practice fractions among transit/tier-1 ASes; they
+    #: form cumulative bands over a uniform [0, 1) roll, so they must
+    #: sum to <= 1 (the remainder are ignorers).
     tagger_fraction: float = 0.85
     cleaner_egress_fraction: float = 0.10
-    cleaner_ingress_fraction: float = 0.08
+    cleaner_ingress_fraction: float = 0.05
     #: Fraction of ASes that scrub their internal relationship tags.
     scrub_internal_fraction: float = 0.5
     vendor_mix: "Tuple[Tuple[VendorProfile, float], ...]" = (
@@ -127,6 +129,10 @@ class InternetConfig:
     delay_range: "Tuple[float, float]" = (0.005, 0.05)
     mrai: float = 0.0
     seed: int = 424242
+    #: Simulated duration of the "day" in seconds; shorter values give
+    #: proportionally faster runs (background events squeeze into the
+    #: window, beacons still follow their absolute schedule).
+    day_seconds: float = SECONDS_PER_DAY
 
     @classmethod
     def small(cls, **overrides) -> "InternetConfig":
@@ -176,8 +182,8 @@ class SimulatedDay:
 
     @property
     def day_end(self) -> float:
-        """UTC midnight after the simulated day."""
-        return self.day_start + SECONDS_PER_DAY
+        """End of the simulated window (midnight for full days)."""
+        return self.day_start + self.config.day_seconds
 
     def collector(self, name: str):
         """Access one collector by name."""
@@ -199,6 +205,11 @@ class InternetModel:
 
     def __init__(self, config: "InternetConfig | None" = None):
         self.config = config or InternetConfig()
+        # One generator seeded here drives every day-schedule draw;
+        # the topology layout draws only from its own seed inside
+        # generate_topology.  Nothing uses the global random module,
+        # so identical configs are bit-reproducible and seed sweeps
+        # rerun the same internet under different event randomness.
         self._rng = random.Random(self.config.seed)
         self.topology = generate_topology(self.config.topology)
         self.registry = AllocationRegistry()
@@ -478,18 +489,20 @@ class InternetModel:
         schedule = BeaconSchedule()
         prefixes = ripe_beacon_prefixes(max(self.config.beacon_count, 1))
         allocation_time = self.config.day_start - 10 * 365 * 86400.0
+        window_end = self.config.day_start + self.config.day_seconds
         for spec, prefix in zip(self._beacon_hosts(), prefixes):
             origin = BeaconOrigin(
                 self._routers[spec.asn], prefix, schedule=schedule
             )
-            origin.schedule_day(self.config.day_start)
+            origin.schedule_day(self.config.day_start, until=window_end)
             self._beacon_origins.append(origin)
             self.beacon_prefixes.append(prefix)
             self.registry.allocate_prefix(prefix, at=allocation_time)
 
     def _day_times(self, count: int, *, margin: float = 600.0) -> "List[float]":
         start = self.config.day_start + margin
-        end = self.config.day_start + SECONDS_PER_DAY - margin
+        end = self.config.day_start + self.config.day_seconds - margin
+        end = max(end, start)
         return sorted(
             self._rng.uniform(start, end) for _ in range(count)
         )
@@ -608,7 +621,7 @@ class InternetModel:
         if not self._routers:
             self.build()
         self.schedule_day()
-        day_end = self.config.day_start + SECONDS_PER_DAY
+        day_end = self.config.day_start + self.config.day_seconds
         self.network.run(until=day_end, max_events=20_000_000)
         # Let in-flight churn settle so archives end cleanly.
         self.network.run(max_events=2_000_000)

@@ -162,10 +162,20 @@ class TopologySpec:
 
 def generate_topology(
     params: "TopologyParams | None" = None,
+    *,
+    rng: "random.Random | None" = None,
 ) -> TopologySpec:
-    """Generate a deterministic three-tier topology from a seed."""
+    """Generate a deterministic three-tier topology from a seed.
+
+    All randomness flows through one explicit ``random.Random`` — the
+    caller may inject its own generator (the :class:`InternetModel`
+    threads one through so a scenario seed pins every draw); by default
+    a fresh generator is seeded from ``params.seed``.  The module-level
+    ``random`` functions are never used, so unrelated code cannot
+    perturb the layout.
+    """
     params = params or TopologyParams()
-    rng = random.Random(params.seed)
+    rng = rng if rng is not None else random.Random(params.seed)
     ases: Dict[int, ASSpec] = {}
     adjacencies: List[AdjacencySpec] = []
     next_asn = 3000

@@ -76,3 +76,128 @@ class TestClassifyCommand:
         empty.write_bytes(b"")
         assert main(["classify", str(empty)]) == 1
         assert "no update messages" in capsys.readouterr().err
+
+
+class TestScenarioParser:
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_sweep_arguments(self):
+        arguments = build_parser().parse_args(
+            [
+                "scenario",
+                "sweep",
+                "internet-small",
+                "--seeds",
+                "1,2,3",
+                "--workers",
+                "2",
+                "--cache-dir",
+                "/tmp/c",
+            ]
+        )
+        assert arguments.scenario_command == "sweep"
+        assert arguments.name == "internet-small"
+        assert arguments.seeds == "1,2,3"
+        assert arguments.workers == 2
+
+
+class TestScenarioCommand:
+    def test_list_shows_catalog(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "internet-small" in out
+        assert "lab-baseline" in out
+        assert "scrub-heavy" in out
+
+    def test_list_filters_by_kind(self, capsys):
+        assert main(["scenario", "list", "--kind", "lab"]) == 0
+        out = capsys.readouterr().out
+        assert "lab-baseline" in out
+        assert "internet-small" not in out
+
+    def test_run_lab_scenario(self, capsys):
+        assert main(["scenario", "run", "lab-junos"]) == 0
+        out = capsys.readouterr().out
+        assert "Lab behavior matrix" in out
+        assert "Junos" in out
+        assert "hash=" in out
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenario", "run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_requires_exactly_one_source(self, capsys):
+        assert main(["scenario", "run"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        from repro.scenarios import get_scenario, spec_to_json
+
+        path = tmp_path / "lab.json"
+        path.write_text(spec_to_json(get_scenario("lab-junos")))
+        assert main(["scenario", "run", "--spec-file", str(path)]) == 0
+        assert "Lab behavior matrix" in capsys.readouterr().out
+
+    def test_run_invalid_spec_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"name": "x", "kind": "lab", "collectors": ["bogus"]}'
+        )
+        assert main(["scenario", "run", "--spec-file", str(path)]) == 2
+        assert "unknown collector" in capsys.readouterr().err
+
+    def test_run_json_output(self, capsys):
+        assert main(["scenario", "run", "lab-junos", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["name"] == "lab-junos"
+        assert "lab_matrix" in payload["metrics"]
+
+    def test_sweep_with_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        arguments = [
+            "scenario",
+            "sweep",
+            "lab-junos",
+            "--seeds",
+            "1,2",
+            "--workers",
+            "1",
+            "--cache-dir",
+            cache,
+        ]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert "2 miss(es)" in first
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert "2 hit(s)" in second
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import os
+        import subprocess
+        import sys
+
+        environment = dict(os.environ)
+        source_root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        environment["PYTHONPATH"] = source_root + (
+            os.pathsep + environment["PYTHONPATH"]
+            if environment.get("PYTHONPATH")
+            else ""
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "scenario", "list"],
+            capture_output=True,
+            text=True,
+            env=environment,
+        )
+        assert completed.returncode == 0
+        assert "internet-small" in completed.stdout

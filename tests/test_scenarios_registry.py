@@ -1,0 +1,84 @@
+"""Registry: named lookup, the built-in catalog, registration."""
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    UnknownScenarioError,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.registry import INTERNET_COLLECTORS
+
+
+class TestCatalog:
+    def test_at_least_ten_scenarios(self):
+        assert len(scenario_names()) >= 10
+
+    def test_names_sorted_and_unique(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_paper_matrix_present(self):
+        names = set(scenario_names())
+        assert {"lab-baseline", "internet-small", "internet-mar20"} <= names
+
+    def test_what_ifs_present(self):
+        names = set(scenario_names())
+        # Mixed-vendor internets, scrubbing sweep, beacon density,
+        # topology ladder — the ISSUE's required coverage.
+        assert {"internet-all-cisco", "internet-all-junos"} <= names
+        assert {"scrub-none", "scrub-heavy"} <= names
+        assert "beacons-dense" in names
+        assert {
+            "topology-tiny",
+            "topology-medium",
+            "topology-large",
+        } <= names
+
+    def test_every_entry_is_valid(self):
+        for spec in all_scenarios():
+            assert spec.validate() is spec
+
+    def test_lookup_returns_fresh_equal_specs(self):
+        first = get_scenario("lab-baseline")
+        second = get_scenario("lab-baseline")
+        assert first == second
+        assert first is not second
+
+    def test_internet_small_matches_seed_configuration(self):
+        spec = get_scenario("internet-small")
+        assert spec.kind == "internet"
+        assert spec.seed == 7
+        assert spec.collectors == INTERNET_COLLECTORS
+
+
+class TestLookupErrors:
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            get_scenario("internet-gigantic")
+        assert "internet-small" in str(excinfo.value)
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        factory = lambda: ScenarioSpec(  # noqa: E731
+            name="test-custom",
+            kind="lab",
+            collectors=("lab_matrix",),
+        )
+        register("test-custom", factory)
+        try:
+            assert "test-custom" in scenario_names()
+            assert get_scenario("test-custom").name == "test-custom"
+        finally:
+            unregister("test-custom")
+        assert "test-custom" not in scenario_names()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register("lab-baseline", lambda: None)
