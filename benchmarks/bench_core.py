@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Simulator-core micro-benchmark: events/sec and peak heap size.
+
+Runs the topology-scale-ladder scenarios through the raw
+:class:`~repro.workloads.InternetModel` (no analysis layer, so the
+numbers isolate the discrete-event core) and records the results into
+``BENCH_core.json`` so the performance trajectory of the hot path is
+tracked from PR to PR.
+
+Metrics per scenario:
+
+* ``events_per_sec`` — delivered BGP messages per wall-clock second.
+  Messages, not queue events, because delivery batching coalesces many
+  messages into one queue event; the message count is invariant across
+  batching modes, which makes the metric comparable across toolkit
+  versions.
+* ``queue_events_executed`` / ``peak_heap`` — event-queue internals
+  (batching and heap compaction show up here).
+* ``collector_hash`` — sha256 over every collector's MRT dump.  Two
+  toolkit versions that disagree on this hash changed *behavior*, not
+  just speed.
+
+Usage::
+
+    python benchmarks/bench_core.py            # tiny + medium ladder
+    python benchmarks/bench_core.py --quick    # tiny only, 1 repeat
+    python benchmarks/bench_core.py --verify   # batched vs unbatched
+    python benchmarks/bench_core.py --baseline BENCH_core.json
+
+``--verify`` runs every scenario twice — delivery batching on and off
+— and fails unless the collector hashes match, proving the batching
+fast path is a pure optimization.  ``--baseline`` compares events/sec
+against a previously written report and prints the speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.scenarios import get_scenario  # noqa: E402
+from repro.scenarios.engine import internet_config_from_spec  # noqa: E402
+from repro.simulator.session import BGPSession  # noqa: E402
+from repro.workloads import InternetModel  # noqa: E402
+
+#: The topology-scale ladder, smallest first.
+LADDER = ("topology-tiny", "topology-medium", "topology-large")
+DEFAULT_SCENARIOS = ("topology-tiny", "topology-medium")
+
+
+def collector_hash(day) -> str:
+    """sha256 over every collector's MRT archive (wire bytes)."""
+    digest = hashlib.sha256()
+    for collector in day.collectors():
+        digest.update(collector.name.encode("utf-8"))
+        digest.update(collector.dump_mrt())
+    return digest.hexdigest()[:16]
+
+
+def run_once(scenario: str, *, batching: bool = True) -> dict:
+    """One measured simulation of *scenario*; returns its metrics."""
+    config = internet_config_from_spec(get_scenario(scenario))
+    config.delivery_batching = batching
+    # Session ids (and the addresses derived from them) come from a
+    # process-global counter; pin it so every run of the same scenario
+    # in this process numbers its sessions identically and collector
+    # hashes are comparable across runs and batching modes.
+    BGPSession._counter = 0
+    model = InternetModel(config)
+    started = time.perf_counter()
+    day = model.run()
+    elapsed = time.perf_counter() - started
+    network = day.network
+    delivered = sum(
+        router.received_updates for router in network.routers.values()
+    ) + day.total_collected_messages()
+    return {
+        "scenario": scenario,
+        "delivery_batching": batching,
+        "elapsed_seconds": round(elapsed, 4),
+        "messages_delivered": delivered,
+        "events_per_sec": round(delivered / elapsed, 1) if elapsed else 0.0,
+        "queue_events_executed": network.queue.processed,
+        "peak_heap": network.queue.peak_pending,
+        "collector_hash": collector_hash(day),
+    }
+
+
+def run_best_of(scenario: str, repeat: int, *, batching: bool = True) -> dict:
+    """Best (highest events/sec) of *repeat* runs, to damp OS noise."""
+    best = None
+    for _ in range(max(1, repeat)):
+        result = run_once(scenario, batching=batching)
+        if best is None or result["events_per_sec"] > best["events_per_sec"]:
+            best = result
+    return best
+
+
+def verify_determinism(scenarios, repeat: int) -> "list[dict]":
+    """Run batched vs unbatched; identical collector hashes required."""
+    runs = []
+    for scenario in scenarios:
+        batched = run_best_of(scenario, repeat, batching=True)
+        unbatched = run_best_of(scenario, repeat, batching=False)
+        match = batched["collector_hash"] == unbatched["collector_hash"]
+        print(
+            f"{scenario}: batched={batched['collector_hash']}"
+            f" unbatched={unbatched['collector_hash']}"
+            f" -> {'IDENTICAL' if match else 'MISMATCH'}"
+        )
+        if not match:
+            raise SystemExit(
+                f"determinism violation: batching changed collector"
+                f" output on {scenario}"
+            )
+        runs.append(batched)
+        runs.append(unbatched)
+    return runs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the simulator hot path."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: smallest ladder rung only, one repeat",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help=f"comma-separated scenario names (default:"
+        f" {','.join(DEFAULT_SCENARIOS)}; ladder: {','.join(LADDER)})",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="runs per scenario; the best is recorded (default 3)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run with batching disabled and require identical"
+        " collector hashes",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="previous BENCH_core.json to compute speedups against",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..",
+            "BENCH_core.json",
+        ),
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scenarios:
+        scenarios = tuple(
+            name.strip() for name in args.scenarios.split(",") if name.strip()
+        )
+    elif args.quick:
+        scenarios = (LADDER[0],)
+    else:
+        scenarios = DEFAULT_SCENARIOS
+    repeat = 1 if args.quick else args.repeat
+
+    if args.verify:
+        runs = verify_determinism(scenarios, repeat)
+    else:
+        runs = []
+        for scenario in scenarios:
+            result = run_best_of(scenario, repeat)
+            runs.append(result)
+            print(
+                f"{scenario}: {result['events_per_sec']:,.0f} events/s,"
+                f" {result['messages_delivered']} messages in"
+                f" {result['elapsed_seconds']:.3f}s,"
+                f" peak heap {result['peak_heap']},"
+                f" hash {result['collector_hash']}"
+            )
+
+    report = {
+        "version": 1,
+        "quick": bool(args.quick),
+        "repeat": repeat,
+        "runs": runs,
+    }
+
+    # Merge with any existing report: keep the recorded baseline block
+    # and the entries of scenarios this invocation did not re-run, so a
+    # --quick smoke run never erases the full ladder's numbers.
+    if os.path.exists(args.output):
+        try:
+            with open(args.output, "r", encoding="utf-8") as handle:
+                previous_report = json.load(handle)
+        except (OSError, ValueError):
+            previous_report = {}
+        if "baseline" in previous_report:
+            report["baseline"] = previous_report["baseline"]
+        fresh = {
+            (run["scenario"], run.get("delivery_batching", True))
+            for run in runs
+        }
+        kept = [
+            run
+            for run in previous_report.get("runs", [])
+            if (run.get("scenario"), run.get("delivery_batching", True))
+            not in fresh
+        ]
+        report["runs"] = sorted(
+            kept + runs,
+            key=lambda run: (
+                run.get("scenario", ""),
+                not run.get("delivery_batching", True),
+            ),
+        )
+
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        previous = {
+            run["scenario"]: run
+            for run in baseline.get("runs", [])
+            if run.get("delivery_batching", True)
+        }
+        speedups = {}
+        for run in runs:
+            before = previous.get(run["scenario"])
+            if not before or not before.get("events_per_sec"):
+                continue
+            speedups[run["scenario"]] = round(
+                run["events_per_sec"] / before["events_per_sec"], 2
+            )
+            same = before.get("collector_hash") == run["collector_hash"]
+            print(
+                f"{run['scenario']}: {speedups[run['scenario']]}x vs"
+                f" baseline, collector hash"
+                f" {'unchanged' if same else 'CHANGED'}"
+            )
+        report["speedup_vs_baseline"] = speedups
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.abspath(args.output)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,4 +25,10 @@ python -m repro scenario sweep topology-tiny --seeds 1,2 --workers 2 \
     --cache-dir "$CACHE_DIR"
 
 echo
+echo "== smoke: core benchmark harness =="
+# Write to a scratch file so a smoke run never rewrites the tracked
+# BENCH_core.json numbers.
+python benchmarks/bench_core.py --quick --output "$CACHE_DIR/BENCH_core.json"
+
+echo
 echo "CI OK"

@@ -97,13 +97,19 @@ class ASPath:
     True
     """
 
-    __slots__ = ("_segments",)
+    __slots__ = ("_segments", "_flat", "_length", "_prepends")
 
     def __init__(self, segments: Iterable[PathSegment] = ()):
         self._segments = tuple(segments)
         for segment in self._segments:
             if not isinstance(segment, PathSegment):
                 raise AttributeError_(f"not a PathSegment: {segment!r}")
+        # Lazy caches: paths are immutable, and the simulator asks for
+        # the same flattened view / decision length / per-ASN prepend
+        # millions of times on a big run.
+        self._flat: "tuple | None" = None
+        self._length: "int | None" = None
+        self._prepends: "dict | None" = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -154,10 +160,12 @@ class ASPath:
 
     def asns(self) -> tuple:
         """All ASNs in wire order, flattened across segments."""
-        flat: list = []
-        for segment in self._segments:
-            flat.extend(segment.asns)
-        return tuple(flat)
+        if self._flat is None:
+            flat: list = []
+            for segment in self._segments:
+                flat.extend(segment.asns)
+            self._flat = tuple(flat)
+        return self._flat
 
     @property
     def first_asn(self) -> "ASN | None":
@@ -173,9 +181,12 @@ class ASPath:
 
     def length(self) -> int:
         """Decision-process path length (AS_SET counts as one hop)."""
-        return sum(
-            segment.path_length_contribution() for segment in self._segments
-        )
+        if self._length is None:
+            self._length = sum(
+                segment.path_length_contribution()
+                for segment in self._segments
+            )
+        return self._length
 
     def hop_count(self) -> int:
         """Number of ASN entries including prepends."""
@@ -183,25 +194,38 @@ class ASPath:
 
     def contains(self, asn: int) -> bool:
         """True when *asn* appears anywhere in the path (loop check)."""
-        target = ASN(asn)
-        return any(target in segment.asns for segment in self._segments)
+        return ASN(asn) in self.asns()
 
     # ------------------------------------------------------------------
     # derived paths
     # ------------------------------------------------------------------
     def prepend(self, asn: int, count: int = 1) -> "ASPath":
-        """Return a new path with *asn* prepended *count* times."""
+        """Return a new path with *asn* prepended *count* times.
+
+        Memoized per (asn, count): exporting one route to N peers
+        prepends the same local ASN onto the same path N times.
+        """
         if count < 1:
             raise AttributeError_(f"prepend count must be >= 1, got {count}")
+        memo_key = (int(asn), count)
+        if self._prepends is not None:
+            cached = self._prepends.get(memo_key)
+            if cached is not None:
+                return cached
         new_asns = (ASN(asn),) * count
         if self._segments and self._segments[0].kind == SegmentType.AS_SEQUENCE:
             head = PathSegment(
                 SegmentType.AS_SEQUENCE,
                 new_asns + self._segments[0].asns,
             )
-            return ASPath((head,) + self._segments[1:])
-        head = PathSegment(SegmentType.AS_SEQUENCE, new_asns)
-        return ASPath((head,) + self._segments)
+            derived = ASPath((head,) + self._segments[1:])
+        else:
+            head = PathSegment(SegmentType.AS_SEQUENCE, new_asns)
+            derived = ASPath((head,) + self._segments)
+        if self._prepends is None:
+            self._prepends = {}
+        self._prepends[memo_key] = derived
+        return derived
 
     def distinct_ases(self) -> tuple:
         """Ordered tuple of distinct ASNs (prepends collapsed).

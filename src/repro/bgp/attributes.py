@@ -31,6 +31,12 @@ from repro.netbase.asn import ASN
 Origin = OriginCode
 
 
+def _check_metric_range(value: "Optional[int]", label: str) -> None:
+    """Shared MED/LOCAL_PREF range check (used by __init__ and replace)."""
+    if value is not None and not 0 <= value <= 0xFFFFFFFF:
+        raise AttributeError_(f"{label} out of range: {value}")
+
+
 class PathAttributes:
     """Immutable set of BGP path attributes for one route.
 
@@ -52,6 +58,7 @@ class PathAttributes:
         "_originator_id",
         "_cluster_list",
         "_extra",
+        "_key_cache",
     )
 
     def __init__(
@@ -82,10 +89,8 @@ class PathAttributes:
         self._originator_id = originator_id
         self._cluster_list = tuple(cluster_list)
         self._extra = tuple(sorted(extra))
-        if med is not None and not 0 <= med <= 0xFFFFFFFF:
-            raise AttributeError_(f"MED out of range: {med}")
-        if local_pref is not None and not 0 <= local_pref <= 0xFFFFFFFF:
-            raise AttributeError_(f"LOCAL_PREF out of range: {local_pref}")
+        _check_metric_range(med, "MED")
+        _check_metric_range(local_pref, "LOCAL_PREF")
 
     # ------------------------------------------------------------------
     # accessors
@@ -153,25 +158,59 @@ class PathAttributes:
 
         Accepts the constructor keyword names.  ``None`` is a valid new
         value for optional fields (it clears them).
+
+        This is the simulator's hottest allocation site, so the clone
+        copies slots directly and normalizes/validates only the fields
+        that actually change — unchanged fields are already normal.
         """
-        current = {
-            "origin": self._origin,
-            "as_path": self._as_path,
-            "next_hop": self._next_hop,
-            "med": self._med,
-            "local_pref": self._local_pref,
-            "communities": self._communities,
-            "atomic_aggregate": self._atomic_aggregate,
-            "aggregator": self._aggregator,
-            "originator_id": self._originator_id,
-            "cluster_list": self._cluster_list,
-            "extra": self._extra,
-        }
-        unknown = set(changes) - set(current)
-        if unknown:
-            raise AttributeError_(f"unknown attribute fields: {sorted(unknown)}")
-        current.update(changes)
-        return PathAttributes(**current)
+        clone = PathAttributes.__new__(PathAttributes)
+        clone._origin = self._origin
+        clone._as_path = self._as_path
+        clone._next_hop = self._next_hop
+        clone._med = self._med
+        clone._local_pref = self._local_pref
+        clone._communities = self._communities
+        clone._atomic_aggregate = self._atomic_aggregate
+        clone._aggregator = self._aggregator
+        clone._originator_id = self._originator_id
+        clone._cluster_list = self._cluster_list
+        clone._extra = self._extra
+        for field, value in changes.items():
+            if field == "next_hop":
+                clone._next_hop = value
+            elif field == "med":
+                _check_metric_range(value, "MED")
+                clone._med = value
+            elif field == "local_pref":
+                _check_metric_range(value, "LOCAL_PREF")
+                clone._local_pref = value
+            elif field == "communities":
+                clone._communities = (
+                    value if value is not None else CommunitySet.empty()
+                )
+            elif field == "as_path":
+                clone._as_path = (
+                    value if value is not None else ASPath.empty()
+                )
+            elif field == "origin":
+                clone._origin = OriginCode(value)
+            elif field == "atomic_aggregate":
+                clone._atomic_aggregate = bool(value)
+            elif field == "aggregator":
+                clone._aggregator = value
+            elif field == "originator_id":
+                clone._originator_id = value
+            elif field == "cluster_list":
+                clone._cluster_list = tuple(value)
+            elif field == "extra":
+                clone._extra = tuple(sorted(value))
+            else:
+                known = {slot.lstrip("_") for slot in self.__slots__}
+                unknown = sorted(set(changes) - known)
+                raise AttributeError_(
+                    f"unknown attribute fields: {unknown}"
+                )
+        return clone
 
     def with_communities(self, communities: CommunitySet) -> "PathAttributes":
         """Replace the community attribute."""
@@ -202,21 +241,29 @@ class PathAttributes:
         )
 
     def _key(self) -> tuple:
-        return (
-            self._origin,
-            self._as_path,
-            self._next_hop,
-            self._med,
-            self._local_pref,
-            self._communities,
-            self._atomic_aggregate,
-            self._aggregator,
-            self._originator_id,
-            self._cluster_list,
-            self._extra,
-        )
+        # Cached (the slot stays unset until first use): duplicate
+        # detection compares attribute sets on every advertisement.
+        try:
+            return self._key_cache
+        except AttributeError:
+            self._key_cache = (
+                self._origin,
+                self._as_path,
+                self._next_hop,
+                self._med,
+                self._local_pref,
+                self._communities,
+                self._atomic_aggregate,
+                self._aggregator,
+                self._originator_id,
+                self._cluster_list,
+                self._extra,
+            )
+            return self._key_cache
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PathAttributes):
             return NotImplemented
         return self._key() == other._key()

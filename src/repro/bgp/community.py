@@ -118,7 +118,12 @@ class Community:
         return self._value < other._value
 
     def __hash__(self) -> int:
-        return hash(("community", self._value))
+        # The raw value, not hash(("community", value)): this runs for
+        # every community-set membership probe on the simulator's hot
+        # path, and the tuple allocation dominated the lookup.  Nothing
+        # output-facing iterates the backing frozensets unsorted, so
+        # the element order change is invisible.
+        return self._value
 
     def __repr__(self) -> str:
         return f"Community('{self}')"
@@ -297,8 +302,25 @@ class CommunitySet:
     # ------------------------------------------------------------------
     # set algebra (each returns a new CommunitySet)
     # ------------------------------------------------------------------
+    @classmethod
+    def _make(cls, classic: frozenset, large: frozenset) -> "CommunitySet":
+        """Internal constructor for already-validated member sets."""
+        made = cls.__new__(cls)
+        made._classic = classic
+        made._large = large
+        return made
+
     def add(self, *items: "Community | LargeCommunity") -> "CommunitySet":
-        """Return a new set with *items* included."""
+        """Return a new set with *items* included.
+
+        Returns ``self`` when every item is already present — the
+        common case on policy re-application, and it lets equality
+        checks downstream hit the identity fast path.
+        """
+        if all(
+            item in self._classic or item in self._large for item in items
+        ):
+            return self
         classic = set(self._classic)
         large = set(self._large)
         for item in items:
@@ -308,35 +330,51 @@ class CommunitySet:
                 large.add(item)
             else:
                 raise AttributeError_(f"not a community: {item!r}")
-        return CommunitySet(classic, large)
+        return CommunitySet._make(frozenset(classic), frozenset(large))
 
     def remove(self, *items: "Community | LargeCommunity") -> "CommunitySet":
-        """Return a new set with *items* excluded (missing ones ignored)."""
+        """Return a new set with *items* excluded (missing ones ignored).
+
+        Returns ``self`` when nothing is present to remove.
+        """
+        if not any(
+            item in self._classic or item in self._large for item in items
+        ):
+            return self
         classic = set(self._classic)
         large = set(self._large)
         for item in items:
             classic.discard(item)  # type: ignore[arg-type]
             large.discard(item)  # type: ignore[arg-type]
-        return CommunitySet(classic, large)
+        return CommunitySet._make(frozenset(classic), frozenset(large))
 
     def union(self, other: "CommunitySet") -> "CommunitySet":
-        """Set union."""
-        return CommunitySet(
+        """Set union (returns ``self`` when it already covers *other*)."""
+        if other._classic <= self._classic and other._large <= self._large:
+            return self
+        return CommunitySet._make(
             self._classic | other._classic, self._large | other._large
         )
 
     def filter(self, predicate) -> "CommunitySet":
         """Return the subset of communities for which *predicate* is true."""
-        return CommunitySet(
-            (c for c in self._classic if predicate(c)),
-            (c for c in self._large if predicate(c)),
+        return CommunitySet._make(
+            frozenset(c for c in self._classic if predicate(c)),
+            frozenset(c for c in self._large if predicate(c)),
         )
 
     def without_asn(self, asn: int) -> "CommunitySet":
-        """Drop every community whose administrator field equals *asn*."""
-        return CommunitySet(
-            (c for c in self._classic if c.asn != asn),
-            (c for c in self._large if c.global_admin != asn),
+        """Drop every community whose administrator field equals *asn*.
+
+        Returns ``self`` when no community is administered by *asn*.
+        """
+        if not any(c.asn == asn for c in self._classic) and not any(
+            c.global_admin == asn for c in self._large
+        ):
+            return self
+        return CommunitySet._make(
+            frozenset(c for c in self._classic if c.asn != asn),
+            frozenset(c for c in self._large if c.global_admin != asn),
         )
 
     def only_asn(self, asn: int) -> "CommunitySet":

@@ -59,6 +59,8 @@ class ASN(int):
     __slots__ = ()
 
     def __new__(cls, value: "int | str | ASN") -> "ASN":
+        if type(value) is cls:
+            return value  # already validated and immutable
         if isinstance(value, str):
             value = _parse_asn_string(value)
         number = int(value)

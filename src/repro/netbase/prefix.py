@@ -35,7 +35,7 @@ class Prefix:
     True
     """
 
-    __slots__ = ("_network", "_length", "_version")
+    __slots__ = ("_network", "_length", "_version", "_hash")
 
     def __init__(self, text: "str | Prefix", *, strict: bool = True):
         if isinstance(text, Prefix):
@@ -213,7 +213,13 @@ class Prefix:
         return self._key() <= other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        # Prefixes key every RIB dict; cache the hash lazily (slot may
+        # be unset because from_int() bypasses __init__).
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(self._key())
+            return self._hash
 
     def __repr__(self) -> str:
         return f"Prefix('{self}')"

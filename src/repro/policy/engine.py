@@ -16,7 +16,7 @@ from repro.netbase.asn import ASN
 from repro.netbase.prefix import Prefix
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PolicyContext:
     """Facts a policy step may consult.
 

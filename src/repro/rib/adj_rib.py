@@ -14,30 +14,95 @@ not.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bgp.attributes import PathAttributes
 from repro.netbase.prefix import Prefix
 from repro.rib.route import Route
 
 
-class AdjRIBIn:
-    """Routes received from one peer, keyed by prefix."""
+class AdjacencyIndex:
+    """Cross-session candidate index: prefix -> {rib key -> route}.
 
-    __slots__ = ("_routes",)
+    A router holds one Adj-RIB-In per session; re-running the decision
+    process for a prefix needs the candidate routes from *every*
+    session.  Scanning each RIB per reconsideration is O(sessions);
+    this index, maintained by the :class:`AdjRIBIn` instances that
+    share it, hands back exactly the affected prefix's candidates.
+
+    Candidates are returned sorted by rib key (the session id), which
+    reproduces session attach order — the order the decision process
+    historically saw, so tie-breaking is unchanged.
+    """
+
+    __slots__ = ("_by_prefix",)
 
     def __init__(self):
+        self._by_prefix: "Dict[Prefix, Dict[int, Route]]" = {}
+
+    def note_install(self, key: int, route: Route) -> None:
+        """Record that RIB *key* now holds *route*."""
+        bucket = self._by_prefix.get(route.prefix)
+        if bucket is None:
+            bucket = self._by_prefix[route.prefix] = {}
+        bucket[key] = route
+
+    def note_withdraw(self, key: int, prefix: Prefix) -> None:
+        """Record that RIB *key* no longer holds *prefix*."""
+        bucket = self._by_prefix.get(prefix)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._by_prefix[prefix]
+
+    def candidates(self, prefix: Prefix) -> "List[Tuple[int, Route]]":
+        """(rib key, route) pairs for *prefix*, in session order."""
+        bucket = self._by_prefix.get(prefix)
+        if not bucket:
+            return []
+        return sorted(bucket.items())
+
+    def prefixes(self) -> "List[Prefix]":
+        """All prefixes with at least one candidate (snapshot list)."""
+        return list(self._by_prefix)
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)
+
+
+class AdjRIBIn:
+    """Routes received from one peer, keyed by prefix.
+
+    When constructed with a *key* and a shared :class:`AdjacencyIndex`,
+    every mutation is mirrored into the index so the owning router can
+    recompute best paths without scanning its other RIBs.
+    """
+
+    __slots__ = ("_routes", "_key", "_index")
+
+    def __init__(
+        self,
+        key: int = 0,
+        index: "AdjacencyIndex | None" = None,
+    ):
         self._routes: Dict[Prefix, Route] = {}
+        self._key = key
+        self._index = index
 
     def install(self, route: Route) -> "Route | None":
         """Store *route*, returning the entry it replaced (or None)."""
         previous = self._routes.get(route.prefix)
         self._routes[route.prefix] = route
+        if self._index is not None:
+            self._index.note_install(self._key, route)
         return previous
 
     def withdraw(self, prefix: Prefix) -> "Route | None":
         """Remove the entry for *prefix*, returning it (or None)."""
-        return self._routes.pop(prefix, None)
+        route = self._routes.pop(prefix, None)
+        if route is not None and self._index is not None:
+            self._index.note_withdraw(self._key, prefix)
+        return route
 
     def get(self, prefix: Prefix) -> Optional[Route]:
         """The stored route for *prefix*, or None."""
@@ -51,6 +116,9 @@ class AdjRIBIn:
         """Drop everything (session reset); return affected prefixes."""
         prefixes = list(self._routes)
         self._routes.clear()
+        if self._index is not None:
+            for prefix in prefixes:
+                self._index.note_withdraw(self._key, prefix)
         return prefixes
 
     def __len__(self) -> int:

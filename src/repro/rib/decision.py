@@ -62,21 +62,50 @@ class DecisionProcess:
         pool = [route for route in candidates if route is not None]
         if not pool:
             return None
+        if len(pool) == 1:
+            # The overwhelmingly common case on real topologies: one
+            # candidate needs no elimination rounds (and cannot mix
+            # prefixes).
+            return pool[0]
         prefixes = {route.prefix for route in pool}
         if len(prefixes) > 1:
             raise ValueError(
                 f"decision over mixed prefixes: {sorted(map(str, prefixes))}"
             )
-        pool = self._filter_local_pref(pool)
-        pool = self._filter_path_length(pool)
-        pool = self._filter_origin(pool)
-        pool = self._filter_med(pool)
-        pool = self._filter_ebgp(pool)
-        pool = self._filter_igp_cost(pool)
-        if len(pool) > 1 and self._config.prefer_oldest:
+        # Steps 1-3 are one lexicographic minimum: highest LOCAL_PREF,
+        # then shortest path, then lowest origin — a single pass over
+        # precomputed keys instead of three filter rounds.
+        keyed = [
+            (
+                (
+                    -route.effective_local_pref,
+                    route.attributes.as_path.length(),
+                    route.attributes.origin,
+                ),
+                route,
+            )
+            for route in pool
+        ]
+        best_key = min(key for key, _route in keyed)
+        pool = [route for key, route in keyed if key == best_key]
+        if len(pool) == 1:
+            return pool[0]
+        for step in (
+            self._filter_med,
+            self._filter_ebgp,
+            self._filter_igp_cost,
+        ):
+            pool = step(pool)
+            if len(pool) == 1:
+                return pool[0]
+        if self._config.prefer_oldest:
             oldest = min(route.learned_at for route in pool)
             pool = [r for r in pool if r.learned_at == oldest]
+            if len(pool) == 1:
+                return pool[0]
         pool = self._filter_router_id(pool)
+        if len(pool) == 1:
+            return pool[0]
         pool = self._filter_peer_address(pool)
         return pool[0]
 
@@ -96,22 +125,8 @@ class DecisionProcess:
 
     # ------------------------------------------------------------------
     # individual steps — each keeps only the surviving candidates
+    # (steps 1-3 are fused into one lexicographic pass in select())
     # ------------------------------------------------------------------
-    @staticmethod
-    def _filter_local_pref(pool: Sequence[Route]) -> "list[Route]":
-        best = max(route.effective_local_pref for route in pool)
-        return [r for r in pool if r.effective_local_pref == best]
-
-    @staticmethod
-    def _filter_path_length(pool: Sequence[Route]) -> "list[Route]":
-        best = min(route.attributes.as_path.length() for route in pool)
-        return [r for r in pool if r.attributes.as_path.length() == best]
-
-    @staticmethod
-    def _filter_origin(pool: Sequence[Route]) -> "list[Route]":
-        best = min(route.attributes.origin for route in pool)
-        return [r for r in pool if r.attributes.origin == best]
-
     def _filter_med(self, pool: Sequence[Route]) -> "list[Route]":
         if len(pool) < 2:
             return list(pool)
@@ -119,18 +134,24 @@ class DecisionProcess:
             best = min(route.effective_med for route in pool)
             return [r for r in pool if r.effective_med == best]
         # Standard semantics: eliminate a route only when a same-
-        # neighbor-AS rival has strictly lower MED.
-        survivors = []
+        # neighbor-AS rival has strictly lower MED.  One pass computes
+        # the lowest MED per neighbor AS; a route is beaten exactly
+        # when its neighbor's minimum is strictly below its own MED.
+        lowest_med: dict = {}
+        meds = []
         for route in pool:
-            beaten = any(
-                other.neighbor_asn == route.neighbor_asn
-                and other.effective_med < route.effective_med
-                for other in pool
-                if other is not route and other.neighbor_asn is not None
-            )
-            if not beaten:
-                survivors.append(route)
-        return survivors
+            neighbor = route.neighbor_asn
+            med = route.effective_med
+            meds.append((neighbor, med))
+            if neighbor is not None:
+                known = lowest_med.get(neighbor)
+                if known is None or med < known:
+                    lowest_med[neighbor] = med
+        return [
+            route
+            for route, (neighbor, med) in zip(pool, meds)
+            if neighbor is None or lowest_med[neighbor] >= med
+        ]
 
     @staticmethod
     def _filter_ebgp(pool: Sequence[Route]) -> "list[Route]":
@@ -151,27 +172,50 @@ class DecisionProcess:
 
     @staticmethod
     def _filter_router_id(pool: Sequence[Route]) -> "list[Route]":
-        def router_id_key(route: Route):
-            if route.peer_id is None:
-                return (0, 0)  # local routes sort first
-            try:
-                return (1, int(ipaddress.IPv4Address(route.peer_id)))
-            except ipaddress.AddressValueError:
-                # crc32, not hash(): a salted hash would make this tie
-                # breaker — and thus route selection — vary between
-                # interpreter runs.
-                return (2, zlib.crc32(str(route.peer_id).encode("utf-8")))
-
-        best = min(router_id_key(route) for route in pool)
-        return [r for r in pool if router_id_key(r) == best]
+        keys = [_router_id_key(route.peer_id) for route in pool]
+        best = min(keys)
+        return [r for r, k in zip(pool, keys) if k == best]
 
     @staticmethod
     def _filter_peer_address(pool: Sequence[Route]) -> "list[Route]":
-        def address_key(route: Route):
-            if route.peer_address is None:
-                return (0, 0)
-            parsed = ipaddress.ip_address(route.peer_address)
-            return (parsed.version, int(parsed))
+        return [
+            min(
+                pool,
+                key=lambda route: _peer_address_key(route.peer_address),
+            )
+        ]
 
-        pool = sorted(pool, key=address_key)
-        return [pool[0]]
+
+# ----------------------------------------------------------------------
+# memoized tie-breaker keys: the same few router ids and session
+# addresses are parsed millions of times on a big run, so the parsed
+# keys are cached process-wide (both caches are pure string -> tuple).
+# ----------------------------------------------------------------------
+_ROUTER_ID_KEYS: "dict[Optional[str], tuple]" = {None: (0, 0)}
+_PEER_ADDRESS_KEYS: "dict[Optional[str], tuple]" = {None: (0, 0)}
+
+
+def _router_id_key(peer_id: "Optional[str]") -> tuple:
+    try:
+        return _ROUTER_ID_KEYS[peer_id]
+    except KeyError:
+        pass
+    try:
+        key = (1, int(ipaddress.IPv4Address(peer_id)))
+    except ipaddress.AddressValueError:
+        # crc32, not hash(): a salted hash would make this tie breaker
+        # — and thus route selection — vary between interpreter runs.
+        key = (2, zlib.crc32(str(peer_id).encode("utf-8")))
+    _ROUTER_ID_KEYS[peer_id] = key
+    return key
+
+
+def _peer_address_key(peer_address: "Optional[str]") -> tuple:
+    try:
+        return _PEER_ADDRESS_KEYS[peer_address]
+    except KeyError:
+        pass
+    parsed = ipaddress.ip_address(peer_address)
+    key = (parsed.version, int(parsed))
+    _PEER_ADDRESS_KEYS[peer_address] = key
+    return key

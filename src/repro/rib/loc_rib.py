@@ -22,6 +22,20 @@ class LocRIB:
         self._best[route.prefix] = route
         return previous
 
+    def update(self, route: Route) -> "tuple[bool, Route | None]":
+        """Install *route* unless an equal entry is already best.
+
+        Returns ``(changed, previous)`` with a single table lookup —
+        the hot path the router's reconsideration takes for every
+        decision.  When the stored entry equals *route* the table keeps
+        the existing instance (its ``learned_at`` is the original one).
+        """
+        previous = self._best.get(route.prefix)
+        if previous is not None and previous == route:
+            return False, previous
+        self._best[route.prefix] = route
+        return True, previous
+
     def remove(self, prefix: Prefix) -> "Route | None":
         """Remove the best route for *prefix*, returning it."""
         return self._best.pop(prefix, None)

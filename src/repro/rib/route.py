@@ -44,6 +44,7 @@ class Route:
         "_peer_address",
         "_igp_cost",
         "_learned_at",
+        "_neighbor",
     )
 
     def __init__(
@@ -124,8 +125,16 @@ class Route:
 
     @property
     def neighbor_asn(self) -> "ASN | None":
-        """First ASN in the AS path (for MED comparability)."""
-        return self._attributes.as_path.first_asn
+        """First ASN in the AS path (for MED comparability).
+
+        Cached lazily (the slot stays unset until first access): the
+        MED tie-breaker reads this repeatedly for every candidate.
+        """
+        try:
+            return self._neighbor
+        except AttributeError:
+            self._neighbor = self._attributes.as_path.first_asn
+            return self._neighbor
 
     # ------------------------------------------------------------------
     # derivation

@@ -154,6 +154,7 @@ def internet_config_from_spec(spec: ScenarioSpec):
         "prepend_change_events",
         "collector_session_resets",
         "mrai",
+        "delivery_batching",
     )
     for label in passthrough:
         value = getattr(section, label)

@@ -68,15 +68,25 @@ class RouteCollector:
 
     def receive(self, session: BGPSession, message: BGPMessage) -> None:
         """Archive an inbound message."""
+        self.receive_batch(session, [message])
+
+    def receive_batch(
+        self, session: BGPSession, messages: "List[BGPMessage]"
+    ) -> None:
+        """Archive a coalesced burst of inbound messages in order."""
+        timestamp = self._network.queue.now
         peer = session.other(self)
-        self._records.append(
+        peer_asn = ASN(peer.asn)
+        peer_address = session.peer_address(self)
+        self._records.extend(
             CollectedMessage(
-                timestamp=self._network.queue.now,
+                timestamp=timestamp,
                 collector=self.name,
-                peer_asn=ASN(peer.asn),
-                peer_address=session.peer_address(self),
+                peer_asn=peer_asn,
+                peer_address=peer_address,
                 message=message,
             )
+            for message in messages
         )
 
     def session_down(self, session: BGPSession) -> None:

@@ -144,7 +144,12 @@ class RouteDamper:
         penalty = self._decayed_penalty(entry, now)
         entry.penalty = penalty
         entry.updated_at = now
-        if entry.suppressed and penalty < self.config.reuse_threshold:
+        # RFC 2439 §4.4.4: a route is reused once its penalty reaches
+        # the reuse threshold — decaying to *exactly* the threshold
+        # releases it (<=, not <; a strict compare would hold the route
+        # one extra decay interval, and would break the max-suppress
+        # guarantee, which lands exactly on the threshold at the cap).
+        if entry.suppressed and penalty <= self.config.reuse_threshold:
             entry.suppressed = False
             self.releases += 1
         if not entry.suppressed and penalty < 1.0:

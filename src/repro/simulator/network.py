@@ -24,9 +24,16 @@ DEFAULT_IBGP_COST = 5
 class Network:
     """A simulated BGP internetwork."""
 
-    def __init__(self, *, start_time: float = 0.0):
+    def __init__(
+        self, *, start_time: float = 0.0, batch_delivery: bool = True
+    ):
         self.clock = SimClock(start_time)
         self.queue = EventQueue(self.clock)
+        #: Coalesce same-fire-time messages per session direction into
+        #: one queue event (see :meth:`BGPSession.send` for the exact
+        #: ordering guarantee).  Turning this off gives the classic
+        #: one-event-per-message granularity.
+        self.batch_delivery = bool(batch_delivery)
         self.routers: Dict[str, Router] = {}
         self.collectors: Dict[str, RouteCollector] = {}
         self.links: Dict[str, Link] = {}

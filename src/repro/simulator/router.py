@@ -25,7 +25,7 @@ from repro.netbase.asn import ASN
 from repro.netbase.prefix import Prefix
 from repro.policy.actions import honor_no_export
 from repro.policy.engine import PolicyContext, RoutingPolicy
-from repro.rib.adj_rib import AdjRIBIn, AdjRIBOut
+from repro.rib.adj_rib import AdjacencyIndex, AdjRIBIn, AdjRIBOut
 from repro.rib.decision import DecisionConfig, DecisionProcess
 from repro.rib.loc_rib import LocRIB
 from repro.rib.route import Route, RouteSource
@@ -58,10 +58,21 @@ class Router:
         self.transparent = bool(transparent)
         self._decision = DecisionProcess(decision_config)
         self._sessions: List[BGPSession] = []
+        self._session_by_id: Dict[int, BGPSession] = {}
+        #: Cross-session candidate index shared by every Adj-RIB-In:
+        #: reconsidering a prefix touches only that prefix's candidates
+        #: instead of scanning one RIB per session.
+        self._rib_index = AdjacencyIndex()
         self._adj_rib_in: Dict[int, AdjRIBIn] = {}
         self._adj_rib_out: Dict[int, AdjRIBOut] = {}
         self._policies: Dict[int, RoutingPolicy] = {}
         self._ingress_points: Dict[int, str] = {}
+        #: Per-session constants, resolved once at attach time instead
+        #: of through session.other() on every message.
+        self._peer_ids: Dict[int, str] = {}
+        self._peer_asns: Dict[int, ASN] = {}
+        self._peer_addresses: Dict[int, str] = {}
+        self._local_addresses: Dict[int, str] = {}
         self._loc_rib = LocRIB()
         self._local_routes: Dict[Prefix, Route] = {}
         self._mrai_pending: Dict[int, Set[Prefix]] = {}
@@ -84,12 +95,18 @@ class Router:
         """Register a session endpoint on this router."""
         self._sessions.append(session)
         key = session.session_id
-        self._adj_rib_in[key] = AdjRIBIn()
+        self._session_by_id[key] = session
+        self._adj_rib_in[key] = AdjRIBIn(key, self._rib_index)
         self._adj_rib_out[key] = AdjRIBOut()
         self._policies[key] = policy or RoutingPolicy.permissive()
         if ingress_point is not None:
             self._ingress_points[key] = ingress_point
         self._mrai_pending[key] = set()
+        peer = session.other(self)
+        self._peer_ids[key] = getattr(peer, "router_id", peer.name)
+        self._peer_asns[key] = ASN(peer.asn)
+        self._peer_addresses[key] = session.peer_address(self)
+        self._local_addresses[key] = session.local_address(self)
 
     def set_policy(self, session: BGPSession, policy: RoutingPolicy) -> None:
         """Replace the routing policy for *session*."""
@@ -160,8 +177,33 @@ class Router:
         """Process one inbound message from *session*."""
         if not isinstance(message, UpdateMessage):
             return
-        self.received_updates += 1
+        self._process_update(
+            session, self._adj_rib_in[session.session_id], message
+        )
+
+    def receive_batch(
+        self, session: BGPSession, messages: "list[BGPMessage]"
+    ) -> None:
+        """Process a coalesced burst of inbound messages from *session*.
+
+        Each message is processed fully (import, decision, propagation)
+        before the next, so the outcome is identical to receiving them
+        as individual events in order — the batch only saves the
+        per-message event-queue round trip.
+        """
         rib_in = self._adj_rib_in[session.session_id]
+        for message in messages:
+            if isinstance(message, UpdateMessage):
+                self._process_update(session, rib_in, message)
+
+    def _process_update(
+        self,
+        session: BGPSession,
+        rib_in: AdjRIBIn,
+        message: UpdateMessage,
+    ) -> None:
+        """Run one UPDATE through import, decision and propagation."""
+        self.received_updates += 1
         dirty: Set[Prefix] = set()
         for prefix in message.withdrawn:
             if rib_in.withdraw(prefix) is not None:
@@ -174,8 +216,11 @@ class Router:
                 )
                 if changed:
                     dirty.add(prefix)
-        for prefix in sorted(dirty):
-            self._reconsider(prefix)
+        if len(dirty) == 1:
+            self._reconsider(dirty.pop())
+        elif dirty:
+            for prefix in sorted(dirty):
+                self._reconsider(prefix)
 
     def _import_route(
         self,
@@ -185,38 +230,46 @@ class Router:
         attributes: PathAttributes,
     ) -> bool:
         """Run import processing; True when Adj-RIB-In changed."""
-        peer = session.other(self)
-        if session.is_ebgp and attributes.as_path.contains(self.asn):
+        key = session.session_id
+        is_ebgp = session.is_ebgp
+        if is_ebgp and attributes.as_path.contains(self.asn):
             # AS-path loop: RFC 4271 mandates rejection.  Treat like a
             # withdrawal when the peer previously advertised the prefix.
             return rib_in.withdraw(prefix) is not None
-        context = PolicyContext(
-            local_asn=self.asn,
-            peer_asn=ASN(peer.asn),
-            prefix=prefix,
-            ingress_point=self._ingress_points.get(session.session_id),
-            is_ebgp=session.is_ebgp,
-        )
-        imported = self._policies[session.session_id].import_chain.apply(
-            attributes, context
-        )
-        if imported is None:
-            return rib_in.withdraw(prefix) is not None
-        if session.is_ebgp:
+        import_chain = self._policies[key].import_chain
+        if import_chain.steps:
+            context = PolicyContext(
+                local_asn=self.asn,
+                peer_asn=self._peer_asns[key],
+                prefix=prefix,
+                ingress_point=self._ingress_points.get(key),
+                is_ebgp=is_ebgp,
+            )
+            imported = import_chain.apply(attributes, context)
+            if imported is None:
+                return rib_in.withdraw(prefix) is not None
+        else:
+            # Permissive chain: identity transform, no context needed.
+            imported = attributes
+        if is_ebgp:
             # eBGP ingress: next hop becomes the peer's session address;
             # LOCAL_PREF is never accepted from an external neighbor.
-            imported = imported.replace(
-                next_hop=session.peer_address(self), local_pref=None
-            )
+            # (Usually already true on the wire — skip the copy then.)
+            peer_address = self._peer_addresses[key]
+            if (
+                imported.next_hop != peer_address
+                or imported.local_pref is not None
+            ):
+                imported = imported.replace(
+                    next_hop=peer_address, local_pref=None
+                )
         route = Route(
             prefix,
             imported,
-            source=(
-                RouteSource.EBGP if session.is_ebgp else RouteSource.IBGP
-            ),
-            peer_id=getattr(peer, "router_id", peer.name),
-            peer_asn=peer.asn,
-            peer_address=session.peer_address(self),
+            source=(RouteSource.EBGP if is_ebgp else RouteSource.IBGP),
+            peer_id=self._peer_ids[key],
+            peer_asn=self._peer_asns[key],
+            peer_address=self._peer_addresses[key],
             igp_cost=self._igp_cost_via(session),
             learned_at=self._network.queue.now,
         )
@@ -239,23 +292,18 @@ class Router:
         local = self._local_routes.get(prefix)
         if local is not None:
             candidates.append(local)
-        for session in self._sessions:
-            if not session.established:
-                continue
-            route = self._adj_rib_in[session.session_id].get(prefix)
-            if route is not None:
+        session_by_id = self._session_by_id
+        for key, route in self._rib_index.candidates(prefix):
+            if session_by_id[key].established:
                 candidates.append(route)
         best = self._decision.select(candidates)
-        previous = self._loc_rib.get(prefix)
         if best is None:
-            if previous is not None:
-                self._loc_rib.remove(prefix)
+            if self._loc_rib.remove(prefix) is not None:
                 self._propagate_withdrawal(prefix)
             return
-        if previous is not None and previous == best:
-            return
-        self._loc_rib.install(best)
-        self._propagate_route(prefix, best)
+        changed, _previous = self._loc_rib.update(best)
+        if changed:
+            self._propagate_route(prefix, best)
 
     def _propagate_route(self, prefix: Prefix, route: Route) -> None:
         """Advertise the (new) best route to every eligible peer."""
@@ -280,11 +328,10 @@ class Router:
 
     def _may_export(self, route: Route, session: BGPSession) -> bool:
         """Scoping rules that precede export policy."""
-        peer = session.other(self)
         # Never advertise back to the router the route came from.
-        if route.peer_id is not None and route.peer_id == getattr(
-            peer, "router_id", peer.name
-        ):
+        if route.peer_id is not None and route.peer_id == self._peer_ids[
+            session.session_id
+        ]:
             return False
         # Full-mesh iBGP: iBGP-learned routes stay put.
         if route.source == RouteSource.IBGP and not session.is_ebgp:
@@ -297,15 +344,15 @@ class Router:
         self, route: Route, session: BGPSession
     ) -> "PathAttributes | None":
         """Compute the attributes as they would appear on the wire."""
-        peer = session.other(self)
+        key = session.session_id
         attributes = route.attributes
         if session.is_ebgp:
+            changes = {
+                "next_hop": self._local_addresses[key],
+                "local_pref": None,
+            }
             if not self.transparent:
-                attributes = attributes.with_prepend(self.asn)
-            attributes = attributes.replace(
-                next_hop=session.local_address(self),
-                local_pref=None,
-            )
+                changes["as_path"] = attributes.as_path.prepend(self.asn)
             if (
                 self.vendor.reset_med_on_ebgp_export
                 and route.source != RouteSource.LOCAL
@@ -314,23 +361,28 @@ class Router:
                 # MED is non-transitive: it crosses exactly one AS
                 # border.  A locally-originated MED is sent to the
                 # neighbor; a received MED is never re-exported.
-                attributes = attributes.replace(med=None)
+                changes["med"] = None
+            attributes = attributes.replace(**changes)
         else:
             # iBGP: preserve next hop (no next-hop-self by default) and
             # make LOCAL_PREF explicit for the internal peer.
+            ibgp_changes = {}
             if attributes.local_pref is None:
-                attributes = attributes.replace(local_pref=100)
+                ibgp_changes["local_pref"] = 100
             if attributes.next_hop is None:
-                attributes = attributes.replace(next_hop=self.router_id)
+                ibgp_changes["next_hop"] = self.router_id
+            if ibgp_changes:
+                attributes = attributes.replace(**ibgp_changes)
+        export_chain = self._policies[key].export_chain
+        if not export_chain.steps:
+            return attributes
         context = PolicyContext(
             local_asn=self.asn,
-            peer_asn=ASN(peer.asn),
+            peer_asn=self._peer_asns[key],
             prefix=route.prefix,
             is_ebgp=session.is_ebgp,
         )
-        return self._policies[session.session_id].export_chain.apply(
-            attributes, context
-        )
+        return export_chain.apply(attributes, context)
 
     def _advertise(
         self, session: BGPSession, prefix: Prefix, egress: PathAttributes

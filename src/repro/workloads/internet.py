@@ -128,6 +128,11 @@ class InternetConfig:
     #: Session propagation delay range (seconds).
     delay_range: "Tuple[float, float]" = (0.005, 0.05)
     mrai: float = 0.0
+    #: Coalesce same-fire-time deliveries per session into one event
+    #: (fewer heap operations; off = one event per message, mainly for
+    #: perf A/B comparisons).  With this model's randomly drawn session
+    #: delays the collector output is bit-identical either way.
+    delivery_batching: bool = True
     seed: int = 424242
     #: Simulated duration of the "day" in seconds; shorter values give
     #: proportionally faster runs (background events squeeze into the
@@ -214,7 +219,8 @@ class InternetModel:
         self.topology = generate_topology(self.config.topology)
         self.registry = AllocationRegistry()
         self.network = Network(
-            start_time=self.config.day_start - 7200.0
+            start_time=self.config.day_start - 7200.0,
+            batch_delivery=self.config.delivery_batching,
         )
         self.practices: Dict[int, CommunityPractice] = {}
         self._routers: Dict[int, Router] = {}

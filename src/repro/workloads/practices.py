@@ -68,6 +68,11 @@ class RelationshipImportPolicy(PolicyStep):
         self._relationship = relationship
         self._tag = Community.of(self._local_asn, _REL_VALUE[relationship])
         self._local_pref = _REL_LOCAL_PREF[relationship]
+        self._stale_tags = tuple(
+            Community.of(self._local_asn, value)
+            for value in (REL_CUSTOMER, REL_PEER, REL_PROVIDER)
+            if value != _REL_VALUE[relationship]
+        )
 
     @property
     def relationship(self) -> Relationship:
@@ -75,13 +80,9 @@ class RelationshipImportPolicy(PolicyStep):
         return self._relationship
 
     def apply(self, attributes, context: PolicyContext):
-        communities = attributes.communities
         # Replace any stale own relationship tag (route moved between
         # ingress sessions of different relationships).
-        for value in (REL_CUSTOMER, REL_PEER, REL_PROVIDER):
-            communities = communities.remove(
-                Community.of(self._local_asn, value)
-            )
+        communities = attributes.communities.remove(*self._stale_tags)
         return attributes.replace(
             local_pref=self._local_pref,
             communities=communities.add(self._tag),
@@ -104,14 +105,17 @@ class GaoRexfordExportFilter(PolicyStep):
         #: Relationship of the *session* this filter exports over,
         #: from the local AS's point of view.
         self._session_relationship = session_relationship
+        self._peer_tag = Community.of(self._local_asn, REL_PEER)
+        self._provider_tag = Community.of(self._local_asn, REL_PROVIDER)
 
     def apply(self, attributes, context: PolicyContext):
         if self._session_relationship == Relationship.CUSTOMER:
             return attributes
-        peer_tag = Community.of(self._local_asn, REL_PEER)
-        provider_tag = Community.of(self._local_asn, REL_PROVIDER)
         communities = attributes.communities
-        if peer_tag in communities or provider_tag in communities:
+        if (
+            self._peer_tag in communities
+            or self._provider_tag in communities
+        ):
             return None
         return attributes
 

@@ -117,6 +117,42 @@ class TestPenaltyModel:
             )
         assert not self.damper.is_suppressed("peer-2", PREFIX, 3.0)
 
+    def test_release_at_exact_reuse_threshold(self):
+        """RFC 2439 regression: decaying to *exactly* the reuse
+        threshold must release the route (<= not <)."""
+        config = DampingConfig(
+            suppress_threshold=1000.0,
+            reuse_threshold=750.0,
+            half_life=900.0,
+            withdrawal_penalty=1500.0,
+        )
+        damper = RouteDamper(config)
+        damper.penalize(PEER, PREFIX, 0.0, is_withdrawal=True)
+        assert damper.is_suppressed(PEER, PREFIX, 0.0)
+        # One half-life: 1500 * 0.5 == 750.0 exactly in binary float.
+        assert damper.penalty_of(PEER, PREFIX, 900.0) == 750.0
+        assert not damper.is_suppressed(PEER, PREFIX, 900.0)
+        assert damper.releases == 1
+
+    def test_release_at_max_suppress_time_cap(self):
+        """A route capped at max_penalty decays to exactly the reuse
+        threshold after max_suppress_time — the RFC's guarantee that
+        suppression never outlives the cap, which the strict-< compare
+        used to violate."""
+        config = DampingConfig(half_life=900.0, max_suppress_time=3600.0)
+        damper = RouteDamper(config)
+        for index in range(100):
+            damper.penalize(PEER, PREFIX, float(index), is_withdrawal=True)
+        assert damper.is_suppressed(PEER, PREFIX, 99.0)
+        capped_at = 99.0
+        assert damper.penalty_of(PEER, PREFIX, capped_at) == pytest.approx(
+            config.max_penalty
+        )
+        # Exactly at the deadline: cap * 0.5^(3600/900) == reuse, and
+        # landing on the threshold must release.
+        released_by = capped_at + config.max_suppress_time
+        assert not damper.is_suppressed(PEER, PREFIX, released_by)
+
     def test_fully_decayed_entries_are_forgotten(self):
         self.damper.penalize(PEER, PREFIX, 0.0, is_withdrawal=True)
         assert self.damper.tracked_routes() == 1

@@ -105,6 +105,89 @@ class TestCoverQueries:
         assert len(list(self.trie.items())) == 4
 
 
+class TestHostAndDefaultRoutes:
+    """Cover queries at both extremes of the length range: /32 host
+    routes (leaf depth) and the /0 default route (the root node)."""
+
+    def setup_method(self):
+        self.trie = PrefixTrie()
+        for text in (
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.2.3.0/24",
+            "10.2.3.4/32",
+            "192.0.2.1/32",
+        ):
+            self.trie.insert(p(text), text)
+
+    def test_covered_by_default_route_returns_all_v4(self):
+        covered = {str(px) for px, _ in self.trie.covered_by(p("0.0.0.0/0"))}
+        assert covered == {
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.2.3.0/24",
+            "10.2.3.4/32",
+            "192.0.2.1/32",
+        }
+
+    def test_covered_by_host_route_is_itself_only(self):
+        covered = list(self.trie.covered_by(p("10.2.3.4/32")))
+        assert covered == [(p("10.2.3.4/32"), "10.2.3.4/32")]
+
+    def test_covering_host_route_walks_full_chain(self):
+        covering = {
+            str(px) for px, _ in self.trie.covering(p("10.2.3.4/32"))
+        }
+        assert covering == {
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.2.3.0/24",
+            "10.2.3.4/32",
+        }
+
+    def test_covering_default_route_is_itself_only(self):
+        covering = list(self.trie.covering(p("0.0.0.0/0")))
+        assert covering == [(p("0.0.0.0/0"), "0.0.0.0/0")]
+
+    def test_covering_isolated_host_includes_default(self):
+        covering = {
+            str(px) for px, _ in self.trie.covering(p("192.0.2.1/32"))
+        }
+        assert covering == {"0.0.0.0/0", "192.0.2.1/32"}
+
+    def test_overlaps_via_stored_default_route(self):
+        # The default route overlaps everything in its address family.
+        assert self.trie.overlaps(p("203.0.113.0/24"))
+        assert self.trie.overlaps(p("255.255.255.255/32"))
+
+    def test_overlaps_host_routes_without_default(self):
+        trie = PrefixTrie()
+        trie.insert(p("10.2.3.4/32"), "host")
+        assert trie.overlaps(p("10.2.3.4/32"))
+        assert trie.overlaps(p("10.0.0.0/8"))  # covers the host route
+        assert not trie.overlaps(p("10.2.3.5/32"))  # sibling host
+        assert not trie.overlaps(p("11.0.0.0/8"))
+
+    def test_overlaps_probe_with_default_probe(self):
+        trie = PrefixTrie()
+        trie.insert(p("198.51.100.0/24"), "doc")
+        # A /0 probe overlaps any stored prefix of the same version...
+        assert trie.overlaps(p("0.0.0.0/0"))
+        # ...but not across address families.
+        assert not trie.overlaps(p("::/0"))
+
+    def test_longest_match_host_route_beats_default(self):
+        assert self.trie.longest_match(p("10.2.3.4/32"))[1] == "10.2.3.4/32"
+        assert self.trie.longest_match(p("10.2.3.5/32"))[1] == "10.2.3.0/24"
+        assert self.trie.longest_match(p("172.16.0.0/12"))[1] == "0.0.0.0/0"
+
+    def test_v6_default_route_is_separate(self):
+        self.trie.insert(p("::/0"), "v6-default")
+        assert self.trie.longest_match(p("2001:db8::/32"))[1] == "v6-default"
+        covered_v6 = {str(px) for px, _ in self.trie.covered_by(p("::/0"))}
+        assert covered_v6 == {"::/0"}
+
+
 @st.composite
 def _prefixes(draw):
     length = draw(st.integers(min_value=0, max_value=28))
