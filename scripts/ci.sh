@@ -31,4 +31,28 @@ echo "== smoke: core benchmark harness =="
 python benchmarks/bench_core.py --quick --output "$CACHE_DIR/BENCH_core.json"
 
 echo
+echo "== smoke: streaming pipeline benchmark =="
+# The bounded-memory and equivalence contracts are asserted on every
+# run; the throughput floor is relaxed here because the smoke rung is
+# a sub-second run on a shared box (the tracked BENCH_pipeline.json
+# numbers come from the strict default of 0.85).
+python benchmarks/bench_pipeline.py --quick --min-throughput-ratio 0.5 \
+    --output "$CACHE_DIR/BENCH_pipeline.json"
+
+echo
+echo "== smoke: mrt-replay of a spilled archive =="
+# Run the spilling scenario through the real CLI, pull the spill path
+# out of the JSON result, and replay it through the same pipeline.
+python -m repro scenario run internet-small-spill --json \
+    > "$CACHE_DIR/spill-result.json"
+SPILL_PATH="$(python -c '
+import json, sys
+result = json.load(open(sys.argv[1]))
+print(result["spill_paths"]["rrc00"])
+' "$CACHE_DIR/spill-result.json")"
+echo "spilled archive: $SPILL_PATH"
+python -m repro scenario run mrt-replay --input "$SPILL_PATH"
+rm -f "$SPILL_PATH"
+
+echo
 echo "CI OK"

@@ -21,6 +21,7 @@ from repro.analysis.observations import (
     Observation,
     ObservationKind,
     SessionKey,
+    StreamGrouper,
     explode_update,
     observations_from_collector,
     observations_from_mrt,
@@ -33,7 +34,11 @@ from repro.analysis.classify import (
     classify_stream,
     classify_observations,
 )
-from repro.analysis.cleaning import CleaningPipeline, CleaningReport
+from repro.analysis.cleaning import (
+    CleaningPipeline,
+    CleaningReport,
+    CleaningSink,
+)
 from repro.analysis.exploration import (
     PhaseActivity,
     CommunityExplorationDetector,
@@ -63,6 +68,7 @@ __all__ = [
     "Observation",
     "ObservationKind",
     "SessionKey",
+    "StreamGrouper",
     "explode_update",
     "observations_from_collector",
     "observations_from_mrt",
@@ -74,6 +80,7 @@ __all__ = [
     "classify_observations",
     "CleaningPipeline",
     "CleaningReport",
+    "CleaningSink",
     "PhaseActivity",
     "CommunityExplorationDetector",
     "ExplorationEvent",

@@ -239,6 +239,22 @@ class UpdateClassifier:
             if announcement_type is not None:
                 yield ClassifiedAnnouncement(observation, announcement_type)
 
+    # ------------------------------------------------------------------
+    # pipeline sink protocol
+    # ------------------------------------------------------------------
+    def push(self, observation: Observation) -> None:
+        """Sink hook: classify one pushed observation.
+
+        :meth:`observe` was always online; exposing it under the
+        pipeline's ``push``/``close`` names lets a classifier terminate
+        a live sink chain directly (collector → exploder → classifier)
+        with no adapter object.
+        """
+        self.observe(observation)
+
+    def close(self) -> None:
+        """Sink hook; classification state needs no finalization."""
+
 
 def classify_observations(
     observations: Iterable[Observation],

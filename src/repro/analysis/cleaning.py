@@ -106,25 +106,46 @@ class CleaningPipeline:
     def run(
         self, observations: Iterable[Observation]
     ) -> "tuple[List[Observation], CleaningReport]":
-        """Apply every enabled step; returns (cleaned, report)."""
+        """Apply every enabled step; returns (cleaned, report).
+
+        Batch wrapper over :meth:`stream` — results are bit-identical
+        because every step is a single order-preserving pass.
+        """
         report = CleaningReport()
-        cleaned = list(self._clean(observations, report))
-        if self._disambiguate:
-            cleaned = self._fix_timestamps(cleaned, report)
-        report.output_observations = len(cleaned)
+        cleaned = list(self.stream(observations, report))
         return cleaned, report
 
-    # ------------------------------------------------------------------
-    # filtering + repair
-    # ------------------------------------------------------------------
-    def _clean(
-        self, observations: Iterable[Observation], report: CleaningReport
+    def stream(
+        self,
+        observations: Iterable[Observation],
+        report: "Optional[CleaningReport]" = None,
     ) -> Iterator[Observation]:
+        """Incrementally clean an ordered feed, one observation at a
+        time (bounded memory: state is one timestamp per in-flight
+        whole second).  *report* is updated as observations flow, so a
+        live pipeline can inspect it mid-run."""
+        if report is None:
+            report = CleaningReport()
+        last_by_second: dict = {}
         for observation in observations:
             report.input_observations += 1
             result = self._clean_one(observation, report)
-            if result is not None:
-                yield result
+            if result is None:
+                continue
+            if self._disambiguate:
+                result = self._disambiguate_one(
+                    result, last_by_second, report
+                )
+            report.output_observations += 1
+            yield result
+
+    def sink(
+        self,
+        downstream,
+        report: "Optional[CleaningReport]" = None,
+    ) -> "CleaningSink":
+        """A push-based form of :meth:`stream` for sink pipelines."""
+        return CleaningSink(self, downstream, report=report)
 
     def _clean_one(
         self, observation: Observation, report: CleaningReport
@@ -176,31 +197,61 @@ class CleaningPipeline:
     # ------------------------------------------------------------------
     # timestamp disambiguation
     # ------------------------------------------------------------------
-    def _fix_timestamps(
-        self, observations: "List[Observation]", report: CleaningReport
-    ) -> "List[Observation]":
+    def _disambiguate_one(
+        self,
+        observation: Observation,
+        last_by_second: dict,
+        report: CleaningReport,
+    ) -> Observation:
         """Spread same-second arrivals by the configured step.
 
-        The input order is preserved; only timestamps recorded at
+        Input order is preserved; only timestamps recorded at
         whole-second granularity are touched.  Messages that already
         carry sub-second precision are assumed disambiguated by the
         collector.
         """
-        fixed: List[Observation] = []
-        last_by_second: dict = {}
-        for observation in observations:
-            timestamp = observation.timestamp
-            if timestamp != int(timestamp):
-                fixed.append(observation)
-                continue
-            key = (observation.session.collector, int(timestamp))
-            previous = last_by_second.get(key)
-            if previous is None:
-                last_by_second[key] = timestamp
-                fixed.append(observation)
-                continue
-            adjusted = previous + self._step
-            last_by_second[key] = adjusted
-            report.disambiguated_timestamps += 1
-            fixed.append(observation.shifted(adjusted))
-        return fixed
+        timestamp = observation.timestamp
+        if timestamp != int(timestamp):
+            return observation
+        key = (observation.session.collector, int(timestamp))
+        previous = last_by_second.get(key)
+        if previous is None:
+            last_by_second[key] = timestamp
+            return observation
+        adjusted = previous + self._step
+        last_by_second[key] = adjusted
+        report.disambiguated_timestamps += 1
+        return observation.shifted(adjusted)
+
+
+class CleaningSink:
+    """Push-based cleaning stage: clean each observation as it
+    arrives and forward survivors downstream."""
+
+    def __init__(
+        self,
+        pipeline: CleaningPipeline,
+        downstream,
+        *,
+        report: "Optional[CleaningReport]" = None,
+    ):
+        self._pipeline = pipeline
+        self.downstream = downstream
+        self.report = report if report is not None else CleaningReport()
+        self._last_by_second: dict = {}
+
+    def push(self, observation: Observation) -> None:
+        pipeline = self._pipeline
+        self.report.input_observations += 1
+        result = pipeline._clean_one(observation, self.report)
+        if result is None:
+            return
+        if pipeline._disambiguate:
+            result = pipeline._disambiguate_one(
+                result, self._last_by_second, self.report
+            )
+        self.report.output_observations += 1
+        self.downstream.push(result)
+
+    def close(self) -> None:
+        self.downstream.close()

@@ -117,6 +117,16 @@ class DuplicateAttributor:
             self.observe(observation)
         return self.report
 
+    # ------------------------------------------------------------------
+    # pipeline sink protocol
+    # ------------------------------------------------------------------
+    def push(self, observation: Observation) -> None:
+        """Sink hook: attribute one pushed observation (online)."""
+        self.observe(observation)
+
+    def close(self) -> None:
+        """Sink hook; attribution state needs no finalization."""
+
     def _attribute(
         self, key: tuple, observation: Observation
     ) -> DuplicateCause:

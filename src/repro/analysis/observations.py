@@ -135,6 +135,35 @@ def observations_from_mrt(
         yield from explode_update(record.timestamp, session, record.message)
 
 
+class StreamGrouper:
+    """Incremental (session, prefix) grouper — the online form of
+    :func:`group_into_streams`.
+
+    Push observations in arrival order; :attr:`streams` is always the
+    grouping of everything seen so far, so a live pipeline can inspect
+    per-stream state mid-run instead of waiting for the feed to end.
+    Usable directly as a pipeline sink (``push``/``close``).
+    """
+
+    def __init__(self):
+        self.streams: "Dict[tuple, List[Observation]]" = {}
+        self.observations = 0
+
+    def push(self, observation: Observation) -> "tuple":
+        """Add one observation; returns its stream key."""
+        key = observation.stream_key()
+        self.streams.setdefault(key, []).append(observation)
+        self.observations += 1
+        return key
+
+    def close(self) -> None:
+        """Pipeline sink hook; grouping state needs no finalization."""
+
+    def stream(self, key: "tuple") -> "List[Observation]":
+        """One stream's observations so far (empty if unseen)."""
+        return self.streams.get(key, [])
+
+
 def group_into_streams(
     observations: Iterable[Observation],
 ) -> "Dict[tuple, List[Observation]]":
@@ -142,11 +171,12 @@ def group_into_streams(
 
     The input must already be in arrival order (collector archives and
     MRT files are); each output list is then automatically ordered.
+    Batch wrapper over :class:`StreamGrouper`.
     """
-    streams: Dict[tuple, List[Observation]] = {}
+    grouper = StreamGrouper()
     for observation in observations:
-        streams.setdefault(observation.stream_key(), []).append(observation)
-    return streams
+        grouper.push(observation)
+    return grouper.streams
 
 
 def peer_ases(observations: Iterable[Observation]) -> "set[ASN]":

@@ -85,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_list.add_argument(
         "--kind",
-        choices=("lab", "internet"),
+        choices=("lab", "internet", "mrt"),
         default=None,
         help="restrict to one scenario kind",
     )
@@ -106,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_run.add_argument(
         "--seed", type=int, default=None, help="override the spec seed"
+    )
+    scenario_run.add_argument(
+        "--input",
+        default=None,
+        help="MRT archive path for mrt-replay scenarios",
     )
     scenario_run.add_argument(
         "--json",
@@ -272,6 +277,18 @@ def _load_run_spec(arguments) -> "tuple[object, Optional[str]]":
         spec = get_scenario(arguments.name)
     if arguments.seed is not None:
         spec = replace(spec, seed=arguments.seed)
+    if getattr(arguments, "input", None) is not None:
+        from repro.scenarios import MrtSpec
+
+        if spec.kind != "mrt":
+            return None, (
+                f"--input only applies to mrt scenarios;"
+                f" {spec.name!r} is kind {spec.kind!r}"
+            )
+        section = spec.mrt if spec.mrt is not None else MrtSpec()
+        spec = replace(
+            spec, mrt=replace(section, path=arguments.input)
+        )
     return spec, None
 
 
@@ -301,6 +318,8 @@ def _scenario_run(arguments) -> int:
         f" seed={spec.seed} hash={result.spec_hash}"
     )
     _print_scenario_metrics(result)
+    for name, path in sorted(result.spill_paths.items()):
+        print(f"\nspilled archive [{name}]: {path}")
     return 0
 
 

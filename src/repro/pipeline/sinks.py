@@ -1,0 +1,381 @@
+"""The :class:`Sink` protocol and the generic pipeline plumbing.
+
+A sink is anything with ``push(item)`` and ``close()``.  Sinks are
+deliberately minimal — no generics, no buffering contract — because
+the pipeline's invariant lives in the *callers*: items are pushed in
+arrival order, exactly once, and ``close()`` is called at most once
+when the source is exhausted.
+
+The archive sinks (:class:`ListArchive`, :class:`RingArchive`,
+:class:`MrtSpillArchive`) back the collector's ``archive_policy``
+knob.  They all archive :class:`~repro.simulator.collector.
+CollectedMessage` items and differ only in what they retain:
+
+========== =================== ===========================
+policy      memory              fidelity of ``records``
+========== =================== ===========================
+full        O(messages)         everything
+ring:N      O(N)                newest N messages
+mrt-spill   O(1)                nothing in RAM; the full
+                                archive lives in an MRT
+                                file and is replayable
+========== =================== ===========================
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tempfile
+from collections import deque
+from typing import Callable, Iterable, Iterator, List, Optional, Protocol, Sequence
+
+
+class PipelineStop(Exception):
+    """Raised by a sink to abort the pump loop (early stop)."""
+
+
+class Sink(Protocol):
+    """Anything that accepts an ordered stream of pushed items."""
+
+    def push(self, item) -> None:
+        """Accept one item."""
+        ...
+
+    def close(self) -> None:
+        """The source is exhausted; release resources."""
+        ...
+
+
+class SinkBase:
+    """No-op base class for sinks that only care about some hooks."""
+
+    def push(self, item) -> None:
+        """Accept one item (default: drop it)."""
+
+    def close(self) -> None:
+        """Release resources (default: nothing to release)."""
+
+
+class CallbackSink(SinkBase):
+    """Adapt a plain callable into a sink."""
+
+    def __init__(self, callback: "Callable", on_close: "Optional[Callable]" = None):
+        self._callback = callback
+        self._on_close = on_close
+
+    def push(self, item) -> None:
+        self._callback(item)
+
+    def close(self) -> None:
+        if self._on_close is not None:
+            self._on_close()
+
+
+class CountingSink(SinkBase):
+    """Count items, optionally forwarding them downstream."""
+
+    def __init__(self, downstream: "Optional[Sink]" = None):
+        self.count = 0
+        self._downstream = downstream
+
+    def push(self, item) -> None:
+        self.count += 1
+        if self._downstream is not None:
+            self._downstream.push(item)
+
+    def close(self) -> None:
+        if self._downstream is not None:
+            self._downstream.close()
+
+
+class Tee(SinkBase):
+    """Fan one stream out to several sinks, in attachment order."""
+
+    def __init__(self, sinks: "Iterable[Sink]" = ()):
+        self.sinks: "List[Sink]" = list(sinks)
+
+    def attach(self, sink: "Sink") -> "Sink":
+        """Add a sink; returns it for chaining."""
+        self.sinks.append(sink)
+        return sink
+
+    def detach(self, sink: "Sink") -> None:
+        """Remove a previously attached sink."""
+        self.sinks.remove(sink)
+
+    def push(self, item) -> None:
+        for sink in self.sinks:
+            sink.push(item)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class SequenceView(Sequence):
+    """Read-only, copy-free view over a list or deque.
+
+    The collector's ``records``/``sessions`` properties used to copy
+    the whole backing list on every access, which hot-loop callers
+    (lab experiments, analysis passes) paid O(n) for per call.  This
+    view is O(1) to create and delegates item access; slicing returns
+    a fresh list (the copy is then explicit at the call site).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items):
+        self._items = items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            if isinstance(self._items, list):
+                return self._items[index]
+            return list(self._items)[index]
+        return self._items[index]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SequenceView):
+            other = other._items
+        if isinstance(other, (list, tuple, deque)):
+            return len(self._items) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self._items, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"SequenceView({list(self._items)!r})"
+
+
+# ----------------------------------------------------------------------
+# archive policies
+# ----------------------------------------------------------------------
+def parse_archive_policy(policy: str) -> "tuple[str, Optional[int]]":
+    """Parse ``full`` | ``ring:N`` | ``mrt-spill`` into (kind, param).
+
+    Raises :class:`ValueError` with an actionable message otherwise.
+    """
+    if not isinstance(policy, str):
+        raise ValueError(
+            f"archive_policy must be a string, got {policy!r}"
+        )
+    text = policy.strip().lower()
+    if text == "full":
+        return ("full", None)
+    if text == "mrt-spill":
+        return ("mrt-spill", None)
+    if text.startswith("ring:"):
+        try:
+            capacity = int(text.split(":", 1)[1])
+        except ValueError:
+            capacity = 0
+        if capacity < 1:
+            raise ValueError(
+                f"ring archive capacity must be a positive integer,"
+                f" got {policy!r}"
+            )
+        return ("ring", capacity)
+    raise ValueError(
+        f"unknown archive_policy {policy!r}; use 'full', 'ring:N'"
+        f" or 'mrt-spill'"
+    )
+
+
+class ArchiveSink(SinkBase):
+    """Common interface of the collector archive backends."""
+
+    #: The canonical policy string this archive implements.
+    policy: str = ""
+
+    @property
+    def retained(self) -> SequenceView:
+        """What is still held in memory, oldest first."""
+        raise NotImplementedError
+
+    @property
+    def total_archived(self) -> int:
+        """Every message ever pushed (retained or not)."""
+        raise NotImplementedError
+
+    @property
+    def dropped(self) -> int:
+        """Messages no longer retained in memory."""
+        return self.total_archived - len(self.retained)
+
+    def clear(self) -> int:
+        """Drop the archive; returns the all-time count dropped."""
+        raise NotImplementedError
+
+
+class ListArchive(ArchiveSink):
+    """The ``full`` policy: keep everything, like the seed collector."""
+
+    policy = "full"
+
+    def __init__(self):
+        self._records: "List" = []
+
+    def push(self, item) -> None:
+        self._records.append(item)
+
+    @property
+    def retained(self) -> SequenceView:
+        return SequenceView(self._records)
+
+    @property
+    def total_archived(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> int:
+        count = len(self._records)
+        self._records.clear()
+        return count
+
+
+class RingArchive(ArchiveSink):
+    """The ``ring:N`` policy: bounded memory, newest N retained."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.policy = f"ring:{self.capacity}"
+        self._ring: "deque" = deque(maxlen=self.capacity)
+        self._total = 0
+
+    def push(self, item) -> None:
+        self._total += 1
+        self._ring.append(item)
+
+    @property
+    def retained(self) -> SequenceView:
+        return SequenceView(self._ring)
+
+    @property
+    def total_archived(self) -> int:
+        return self._total
+
+    def clear(self) -> int:
+        count = self._total
+        self._ring.clear()
+        self._total = 0
+        return count
+
+
+class MrtSpillArchive(ArchiveSink):
+    """The ``mrt-spill`` policy: stream every message to an MRT file.
+
+    Nothing is retained in memory; the archive *is* the (replayable)
+    MRT file, written with extended timestamps so sub-second ordering
+    survives the round trip.  Items pushed here must already be
+    :class:`~repro.mrt.records.Bgp4mpMessage`-convertible — the
+    collector pushes ready-made BGP4MP records.
+    """
+
+    policy = "mrt-spill"
+
+    def __init__(
+        self,
+        *,
+        spill_dir: "Optional[str]" = None,
+        prefix: str = "repro-spill-",
+    ):
+        from repro.mrt.writer import MRTWriter
+
+        handle, path = tempfile.mkstemp(
+            prefix=prefix, suffix=".mrt", dir=spill_dir
+        )
+        self.path = path
+        self._stream = os.fdopen(handle, "wb")
+        self._writer = MRTWriter(self._stream, extended_timestamps=True)
+        self._total = 0
+        self._closed = False
+
+    def push(self, item) -> None:
+        self._writer.write_bgp4mp(item)
+        self._total += 1
+
+    def push_fields(
+        self,
+        timestamp: float,
+        peer_asn: int,
+        local_asn: int,
+        peer_address: str,
+        local_address: str,
+        message,
+    ) -> None:
+        """Record-object-free spill (the collector's hot loop)."""
+        self._writer.write_message(
+            timestamp, peer_asn, local_asn, peer_address, local_address,
+            message,
+        )
+        self._total += 1
+
+    @property
+    def retained(self) -> SequenceView:
+        return SequenceView([])
+
+    @property
+    def total_archived(self) -> int:
+        return self._total
+
+    def flush(self) -> None:
+        """Make every spilled byte visible to readers."""
+        if not self._closed:
+            self._stream.flush()
+
+    def replay(self):
+        """Iterate the spilled archive as BGP4MP records."""
+        from repro.mrt.reader import MRTReader
+
+        self.flush()
+        with open(self.path, "rb") as handle:
+            yield from MRTReader(handle)
+
+    def spilled_bytes(self) -> bytes:
+        """The raw MRT archive written so far."""
+        self.flush()
+        with open(self.path, "rb") as handle:
+            return handle.read()
+
+    def clear(self) -> int:
+        count = self._total
+        if not self._closed:
+            self._stream.flush()
+            self._stream.seek(0)
+            self._stream.truncate()
+        self._total = 0
+        return count
+
+    def close(self) -> None:
+        if not self._closed:
+            self._stream.flush()
+            self._stream.close()
+            self._closed = True
+
+    def unlink(self) -> None:
+        """Close and delete the spill file (cleanup)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+def make_archive(
+    policy: str, *, spill_dir: "Optional[str]" = None, prefix: str = "repro-spill-"
+) -> ArchiveSink:
+    """Instantiate the archive backend for a policy string."""
+    kind, param = parse_archive_policy(policy)
+    if kind == "full":
+        return ListArchive()
+    if kind == "ring":
+        return RingArchive(param)
+    return MrtSpillArchive(spill_dir=spill_dir, prefix=prefix)

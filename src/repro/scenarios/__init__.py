@@ -79,6 +79,7 @@ from repro.scenarios.serialize import (
 from repro.scenarios.spec import (
     InternetSpec,
     LabSpec,
+    MrtSpec,
     ScenarioSpec,
     ScenarioValidationError,
 )
@@ -113,6 +114,7 @@ __all__ = [
     "spec_to_json",
     "InternetSpec",
     "LabSpec",
+    "MrtSpec",
     "ScenarioSpec",
     "ScenarioValidationError",
 ]

@@ -33,7 +33,14 @@ from repro.analysis.tables import build_table1, build_table2
 
 
 class ScenarioContext:
-    """Run-scoped facts collectors may need (beacons, spec, day)."""
+    """Run-scoped facts collectors may need (beacons, spec, day).
+
+    With live-sink streaming the context is created *before* the
+    simulation is built, so fields that only exist later (beacon
+    prefixes, the finished day) start empty and are filled in by the
+    engine as the run progresses.  Collectors that need them should
+    keep the context reference and read at finish time.
+    """
 
     def __init__(self, spec, *, beacon_prefixes=None, day=None):
         self.spec = spec
@@ -61,18 +68,35 @@ class MetricCollector:
         """Return this collector's metrics as a JSON-friendly dict."""
         return {}
 
+    def snapshot(self) -> dict:
+        """Metrics so far, without implying the run has ended.
+
+        Defaults to :meth:`finish` — every built-in collector's finish
+        is a pure aggregation over accumulated state, safe to call
+        repeatedly.  Override when finish has one-shot side effects.
+        """
+        return self.finish()
+
 
 class CollectorProxy:
-    """Fans events out to every attached collector."""
+    """Fans events out to every attached collector.
+
+    Usable directly as a pipeline sink: :meth:`push` is
+    :meth:`observe`, so the engine can terminate a live observation
+    stream with the proxy itself.
+    """
 
     def __init__(self, collectors: "Iterable[MetricCollector]"):
         self.collectors: "List[MetricCollector]" = list(collectors)
+        #: Observations delivered so far (mid-run progress indicator).
+        self.observed = 0
 
     def start(self, context: ScenarioContext) -> None:
         for collector in self.collectors:
             collector.start(context)
 
     def observe(self, observation: Observation) -> None:
+        self.observed += 1
         for collector in self.collectors:
             collector.observe(observation)
 
@@ -85,6 +109,20 @@ class CollectorProxy:
             collector.name: collector.finish()
             for collector in self.collectors
         }
+
+    def snapshot(self) -> "Dict[str, dict]":
+        """Every collector's mid-run metrics, keyed like finish()."""
+        return {
+            collector.name: collector.snapshot()
+            for collector in self.collectors
+        }
+
+    # pipeline sink protocol -------------------------------------------
+    def push(self, observation: Observation) -> None:
+        self.observe(observation)
+
+    def close(self) -> None:
+        """Sink hook; the engine calls finish() explicitly."""
 
 
 # ----------------------------------------------------------------------
@@ -251,17 +289,25 @@ class Table2Collector(MetricCollector):
 
     def __init__(self):
         self._observations: "List[Observation]" = []
-        self._beacons = set()
+        self._context: "Optional[ScenarioContext]" = None
 
     def start(self, context: ScenarioContext) -> None:
-        self._beacons = set(context.beacon_prefixes)
+        # Keep the reference, not a copy: under live streaming the
+        # engine fills in beacon prefixes only once the simulation has
+        # scheduled them, which is after start() fires.
+        self._context = context
 
     def observe(self, observation: Observation) -> None:
         self._observations.append(observation)
 
     def finish(self) -> dict:
+        beacons = (
+            set(self._context.beacon_prefixes)
+            if self._context is not None
+            else set()
+        )
         table = build_table2(
-            self._observations, self._beacons if self._beacons else None
+            self._observations, beacons if beacons else None
         )
         full = {
             kind.value: table.full.share(kind) for kind in TYPE_ORDER

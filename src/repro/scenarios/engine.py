@@ -5,12 +5,28 @@ CLI, examples, benchmarks, the parallel sweep runner — goes through:
 
 1. validate the spec upfront (:meth:`ScenarioSpec.validate`);
 2. instantiate the workload: the §3 lab matrix
-   (:class:`repro.simulator.experiments.LabTopology`) or one synthetic
-   internet day (:class:`repro.workloads.InternetModel`);
+   (:class:`repro.simulator.experiments.LabTopology`), one synthetic
+   internet day (:class:`repro.workloads.InternetModel`) or an
+   on-disk MRT archive (the ``mrt`` kind — real data or a file a
+   previous run spilled);
 3. attach the spec's metric collectors through a
    :class:`CollectorProxy` and stream every event through them;
 4. return a :class:`ScenarioResult` whose ``metrics`` are plain
    JSON-friendly data, keyed by collector name.
+
+Since the streaming-pipeline refactor, internet scenarios feed the
+metric collectors *live*: an :class:`ObservationStream` is attached as
+a collector sink before the network is even built, so metrics
+accumulate while the simulation runs instead of after it, collector
+memory can stay bounded (``archive_policy=ring:N``/``mrt-spill``) and
+two hooks become possible:
+
+* ``early_stop`` — a callable ``(observation_count, proxy) -> bool``
+  checked on every observation; returning True aborts the simulation
+  (the partially-accumulated metrics are still returned, flagged by
+  ``ScenarioResult.stopped_early``);
+* ``snapshot_every`` — record a full metrics snapshot every N
+  observations into ``ScenarioResult.snapshots``.
 
 Results carry the spec and its stable hash, so a result is a complete,
 reproducible record of what ran.
@@ -19,15 +35,26 @@ reproducible record of what ran.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, List, Optional
 
+from repro.pipeline.sinks import PipelineStop, SinkBase
+from repro.pipeline.stream import ObservationStream
 from repro.scenarios.collectors import (
     CollectorProxy,
     ScenarioContext,
     make_collectors,
 )
 from repro.scenarios.serialize import spec_hash
-from repro.scenarios.spec import InternetSpec, LabSpec, ScenarioSpec
+from repro.scenarios.spec import (
+    InternetSpec,
+    LabSpec,
+    MrtSpec,
+    ScenarioSpec,
+    ScenarioValidationError,
+)
+
+#: Signature of the early-stop hook: (observations so far, proxy).
+EarlyStopHook = Callable[[int, CollectorProxy], bool]
 
 
 @dataclass
@@ -39,6 +66,15 @@ class ScenarioResult:
     spec_hash: str
     #: Collector name -> that collector's metrics dict.
     metrics: "Dict[str, dict]" = field(default_factory=dict)
+    #: Mid-run metric snapshots (``snapshot_every``), each a dict of
+    #: ``{"observations": N, "metrics": {...}}``.
+    snapshots: "List[dict]" = field(default_factory=list)
+    #: True when an ``early_stop`` hook aborted the run.
+    stopped_early: bool = False
+    #: Collector name -> on-disk MRT archive path, for runs under
+    #: ``archive_policy=mrt-spill`` (the files are flushed and closed,
+    #: ready for ``mrt-replay --input``).
+    spill_paths: "Dict[str, str]" = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -50,16 +86,70 @@ class ScenarioResult:
         return self.metrics.get(collector, {}).get(key, default)
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Validate and execute one scenario."""
+class _MetricsPump(SinkBase):
+    """Terminal sink of a live run: proxy fan-out + engine hooks."""
+
+    def __init__(
+        self,
+        proxy: CollectorProxy,
+        *,
+        early_stop: "Optional[EarlyStopHook]" = None,
+        snapshot_every: "Optional[int]" = None,
+    ):
+        self.proxy = proxy
+        self.snapshots: "List[dict]" = []
+        self._early_stop = early_stop
+        self._snapshot_every = snapshot_every
+
+    def push(self, observation) -> None:
+        proxy = self.proxy
+        proxy.observe(observation)
+        count = proxy.observed
+        if (
+            self._snapshot_every
+            and count % self._snapshot_every == 0
+        ):
+            self.snapshots.append(
+                {"observations": count, "metrics": proxy.snapshot()}
+            )
+        if self._early_stop is not None and self._early_stop(count, proxy):
+            raise PipelineStop(
+                f"early_stop hook fired after {count} observations"
+            )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    early_stop: "Optional[EarlyStopHook]" = None,
+    snapshot_every: "Optional[int]" = None,
+) -> ScenarioResult:
+    """Validate and execute one scenario.
+
+    ``early_stop``/``snapshot_every`` apply to the streaming kinds
+    (internet, mrt); lab scenarios deliver one event per experiment
+    cell and ignore them.
+    """
     spec.validate()
     proxy = make_collectors(spec.collectors)
+    pump = _MetricsPump(
+        proxy, early_stop=early_stop, snapshot_every=snapshot_every
+    )
+    stopped = False
+    spill_paths: "Dict[str, str]" = {}
     if spec.kind == "lab":
         _run_lab(spec, proxy)
+    elif spec.kind == "mrt":
+        stopped = _run_mrt(spec, proxy, pump)
     else:
-        _run_internet(spec, proxy)
+        stopped = _run_internet(spec, proxy, pump, spill_paths)
     return ScenarioResult(
-        spec=spec, spec_hash=spec_hash(spec), metrics=proxy.finish()
+        spec=spec,
+        spec_hash=spec_hash(spec),
+        metrics=proxy.finish(),
+        snapshots=pump.snapshots,
+        stopped_early=stopped,
+        spill_paths=spill_paths,
     )
 
 
@@ -83,25 +173,44 @@ def _run_lab(spec: ScenarioSpec, proxy: CollectorProxy) -> None:
 
 
 # ----------------------------------------------------------------------
-# internet scenarios
+# internet scenarios (live-sink streaming)
 # ----------------------------------------------------------------------
-def _run_internet(spec: ScenarioSpec, proxy: CollectorProxy) -> None:
-    from repro.analysis import observations_from_collector
+def _run_internet(
+    spec: ScenarioSpec,
+    proxy: CollectorProxy,
+    pump: _MetricsPump,
+    spill_paths: "Dict[str, str]",
+) -> bool:
     from repro.workloads import InternetModel
 
     config = internet_config_from_spec(spec)
-    day = InternetModel(config).run()
-    observations = []
+    model = InternetModel(config)
+    context = ScenarioContext(spec)
+    proxy.start(context)
+    # The observation stream is attached before build(), so the
+    # collectors' warm-up traffic reaches the metric collectors in
+    # exactly archive order — metric-for-metric identical to the old
+    # post-run batch iteration (per-(session, prefix) event order is
+    # the same either way; see tests/test_pipeline.py).
+    model.attach_collector_sink(ObservationStream(pump))
+    stopped = False
+    try:
+        model.build()
+        model.schedule_day()
+        model.run_day()
+    except PipelineStop:
+        stopped = True
+    day = model.simulated_day()
+    # Flush and close the archives: under mrt-spill the buffered tail
+    # must reach disk before anyone replays the file, and the result
+    # carries the paths so the round trip works from the CLI.
     for collector in day.collectors():
-        observations.extend(observations_from_collector(collector))
-    observations.sort(key=lambda obs: obs.timestamp)
-    proxy.start(
-        ScenarioContext(
-            spec, beacon_prefixes=set(day.beacon_prefixes), day=day
-        )
-    )
-    for observation in observations:
-        proxy.observe(observation)
+        collector.close()
+        if collector.spill_path is not None:
+            spill_paths[collector.name] = collector.spill_path
+    context.beacon_prefixes.update(day.beacon_prefixes)
+    context.day = day
+    return stopped
 
 
 def internet_config_from_spec(spec: ScenarioSpec):
@@ -137,6 +246,8 @@ def internet_config_from_spec(spec: ScenarioSpec):
             (profile_by_name(name), weight / total)
             for name, weight in section.vendor_mix
         )
+    if section.collector_names is not None:
+        config.collector_names = tuple(section.collector_names)
     passthrough = (
         "tagger_fraction",
         "cleaner_egress_fraction",
@@ -155,9 +266,48 @@ def internet_config_from_spec(spec: ScenarioSpec):
         "collector_session_resets",
         "mrai",
         "delivery_batching",
+        "archive_policy",
     )
     for label in passthrough:
         value = getattr(section, label)
         if value is not None:
             setattr(config, label, value)
     return config
+
+
+# ----------------------------------------------------------------------
+# mrt-replay scenarios (on-disk archives as a first-class source)
+# ----------------------------------------------------------------------
+def _run_mrt(
+    spec: ScenarioSpec, proxy: CollectorProxy, pump: _MetricsPump
+) -> bool:
+    from repro.pipeline.stream import replay_mrt
+
+    section = spec.mrt or MrtSpec()
+    if not section.path:
+        raise ScenarioValidationError(
+            spec.name,
+            [
+                "mrt.path is required to run an mrt scenario"
+                " (e.g. repro scenario run mrt-replay --input FILE)"
+            ],
+        )
+    proxy.start(ScenarioContext(spec))
+    try:
+        handle = open(section.path, "rb")
+    except OSError as exc:
+        raise ScenarioValidationError(
+            spec.name, [f"cannot open mrt archive {section.path!r}: {exc}"]
+        ) from None
+    stopped = False
+    with handle:
+        try:
+            replay_mrt(
+                handle,
+                pump,
+                collector=section.collector,
+                tolerant=section.tolerant,
+            )
+        except PipelineStop:
+            stopped = True
+    return stopped

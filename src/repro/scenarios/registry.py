@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.scenarios.spec import InternetSpec, LabSpec, ScenarioSpec
+from repro.scenarios.spec import (
+    InternetSpec,
+    LabSpec,
+    MrtSpec,
+    ScenarioSpec,
+)
 
 _FACTORIES: "Dict[str, Callable[[], ScenarioSpec]]" = {}
 
@@ -307,6 +312,59 @@ def damping_replay() -> ScenarioSpec:
         seed=7,
         internet=InternetSpec(),
         collectors=("update_counts", "duplicates", "damping"),
+    )
+
+
+# ----------------------------------------------------------------------
+# mrt-replay: on-disk archives through the live analysis path
+# ----------------------------------------------------------------------
+@scenario
+def mrt_replay() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="mrt-replay",
+        kind="mrt",
+        description=(
+            "replay an MRT update archive (real RouteViews/RIS data or"
+            " a simulator-spilled file) through the observation +"
+            " classification pipeline; needs --input FILE"
+        ),
+        mrt=MrtSpec(),
+        collectors=INTERNET_COLLECTORS,
+    )
+
+
+@scenario
+def mrt_replay_strict() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="mrt-replay-strict",
+        kind="mrt",
+        description=(
+            "mrt-replay that fails on damaged records instead of"
+            " dropping them (integrity checking for simulator-spilled"
+            " archives); needs --input FILE"
+        ),
+        mrt=MrtSpec(tolerant=False),
+        collectors=INTERNET_COLLECTORS,
+    )
+
+
+@scenario
+def internet_small_spill() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="internet-small-spill",
+        kind="internet",
+        description=(
+            "the small internet day with a single collector spilling"
+            " its archive to disk (bounded memory; pairs with"
+            " mrt-replay for the round-trip check)"
+        ),
+        seed=7,
+        internet=InternetSpec(
+            scale="small",
+            archive_policy="mrt-spill",
+            collector_names=("rrc00",),
+        ),
+        collectors=INTERNET_COLLECTORS,
     )
 
 

@@ -21,6 +21,7 @@ from typing import Any, Dict
 from repro.scenarios.spec import (
     InternetSpec,
     LabSpec,
+    MrtSpec,
     ScenarioSpec,
     ScenarioValidationError,
 )
@@ -30,8 +31,28 @@ from repro.scenarios.spec import (
 # spec <-> dict / JSON
 # ----------------------------------------------------------------------
 def spec_to_dict(spec: ScenarioSpec) -> "Dict[str, Any]":
-    """Canonical plain-data form of a spec (JSON-ready)."""
-    return _plain(asdict(spec))
+    """Canonical plain-data form of a spec (JSON-ready).
+
+    The canonical form records only what the spec actually says:
+    sections added after the original lab/internet pair are omitted
+    when unset, and ``None`` fields inside sections (meaning "keep the
+    base default") are omitted entirely.  That keeps spec hashes — and
+    therefore sweep-cache keys — stable when a section later grows a
+    new optional knob: a spec that does not use the knob hashes the
+    same before and after the field exists.
+    """
+    data = _plain(asdict(spec))
+    if data.get("mrt") is None:
+        data.pop("mrt", None)
+    for label in ("lab", "internet", "mrt"):
+        section = data.get(label)
+        if isinstance(section, dict):
+            data[label] = {
+                key: value
+                for key, value in section.items()
+                if value is not None
+            }
+    return data
 
 
 def spec_from_dict(data: "Dict[str, Any]") -> ScenarioSpec:
@@ -44,6 +65,7 @@ def spec_from_dict(data: "Dict[str, Any]") -> ScenarioSpec:
     errors = []
     lab = payload.pop("lab", None)
     internet = payload.pop("internet", None)
+    mrt = payload.pop("mrt", None)
     known = {item.name for item in fields(ScenarioSpec)}
     unknown = set(payload) - known
     for key in sorted(unknown):
@@ -53,6 +75,7 @@ def spec_from_dict(data: "Dict[str, Any]") -> ScenarioSpec:
     internet_spec = _section_from_dict(
         InternetSpec, internet, "internet", errors
     )
+    mrt_spec = _section_from_dict(MrtSpec, mrt, "mrt", errors)
     for required in ("name", "kind"):
         if required not in payload:
             errors.append(f"missing required spec field {required!r}")
@@ -62,7 +85,9 @@ def spec_from_dict(data: "Dict[str, Any]") -> ScenarioSpec:
         )
     if "collectors" in payload:
         payload["collectors"] = tuple(payload["collectors"])
-    return ScenarioSpec(lab=lab_spec, internet=internet_spec, **payload)
+    return ScenarioSpec(
+        lab=lab_spec, internet=internet_spec, mrt=mrt_spec, **payload
+    )
 
 
 def _section_from_dict(cls, data, label, errors):
@@ -122,12 +147,24 @@ def spec_hash(spec: ScenarioSpec) -> str:
 # result <-> dict / JSON
 # ----------------------------------------------------------------------
 def result_to_dict(result) -> "Dict[str, Any]":
-    """Self-contained plain-data form of a :class:`ScenarioResult`."""
-    return {
+    """Self-contained plain-data form of a :class:`ScenarioResult`.
+
+    The streaming-only fields (``snapshots``, ``stopped_early``) are
+    emitted only when set, so cache files written before the pipeline
+    refactor round-trip unchanged.
+    """
+    payload = {
         "spec": spec_to_dict(result.spec),
         "spec_hash": result.spec_hash,
         "metrics": _plain(result.metrics),
     }
+    if getattr(result, "snapshots", None):
+        payload["snapshots"] = _plain(result.snapshots)
+    if getattr(result, "stopped_early", False):
+        payload["stopped_early"] = True
+    if getattr(result, "spill_paths", None):
+        payload["spill_paths"] = dict(result.spill_paths)
+    return payload
 
 
 def result_from_dict(data: "Dict[str, Any]"):
@@ -139,6 +176,9 @@ def result_from_dict(data: "Dict[str, Any]"):
         spec=spec,
         spec_hash=data["spec_hash"],
         metrics=data["metrics"],
+        snapshots=list(data.get("snapshots", [])),
+        stopped_early=bool(data.get("stopped_early", False)),
+        spill_paths=dict(data.get("spill_paths", {})),
     )
 
 

@@ -26,7 +26,7 @@ LAB_EXPERIMENTS = ("exp1", "exp2", "exp3", "exp4")
 #: Base configurations an internet scenario builds on.
 INTERNET_SCALES = ("small", "mar20")
 
-VALID_KINDS = ("lab", "internet")
+VALID_KINDS = ("lab", "internet", "mrt")
 
 
 def _is_number(value) -> bool:
@@ -108,6 +108,34 @@ class InternetSpec:
     #: per-session delays internet scenarios use, collector output is
     #: bit-identical either way (`bench_core.py --verify` checks it).
     delivery_batching: "Optional[bool]" = None
+    #: Collector archive policy: ``full`` | ``ring:N`` | ``mrt-spill``
+    #: (``None`` keeps the simulator default: ``full``).  With live
+    #: metric sinks the analysis never touches the archive, so ring
+    #: and spill bound collector memory without changing any metric.
+    archive_policy: "Optional[str]" = None
+    #: Collector names to instantiate (``None`` keeps the base
+    #: scale's default pair).  A single-name tuple gives one archive
+    #: file, which is what the mrt-replay round trip wants.
+    collector_names: "Optional[Tuple[str, ...]]" = None
+
+
+@dataclass(frozen=True)
+class MrtSpec:
+    """Knobs for an mrt-replay scenario: an on-disk archive — real
+    RouteViews/RIS data or a file the simulator itself spilled —
+    pushed through the identical observation/classification path a
+    live run uses."""
+
+    #: Archive path.  ``None`` at registration time; must be provided
+    #: (e.g. via ``repro scenario run mrt-replay --input FILE``)
+    #: before the scenario can run.
+    path: "Optional[str]" = None
+    #: Collector label stamped onto every observation's session key.
+    collector: str = "mrt"
+    #: Drop damaged records instead of raising (real archives contain
+    #: occasional damage; the paper's pipeline drops rather than
+    #: crashes).
+    tolerant: bool = True
 
 
 @dataclass(frozen=True)
@@ -127,6 +155,7 @@ class ScenarioSpec:
     collectors: "Tuple[str, ...]" = ("update_counts",)
     lab: "Optional[LabSpec]" = None
     internet: "Optional[InternetSpec]" = None
+    mrt: "Optional[MrtSpec]" = None
 
     # ------------------------------------------------------------------
     # validation
@@ -138,15 +167,28 @@ class ScenarioSpec:
         self._check_header(errors)
         self._check_collectors(errors)
         if self.kind == "lab":
-            if self.internet is not None:
-                errors.append("lab scenario must not carry an internet section")
+            for label in ("internet", "mrt"):
+                if getattr(self, label) is not None:
+                    errors.append(
+                        f"lab scenario must not carry an {label} section"
+                    )
             self._check_lab(self.lab if self.lab else LabSpec(), errors)
         elif self.kind == "internet":
-            if self.lab is not None:
-                errors.append("internet scenario must not carry a lab section")
+            for label in ("lab", "mrt"):
+                if getattr(self, label) is not None:
+                    errors.append(
+                        f"internet scenario must not carry a {label} section"
+                    )
             self._check_internet(
                 self.internet if self.internet else InternetSpec(), errors
             )
+        elif self.kind == "mrt":
+            for label in ("lab", "internet"):
+                if getattr(self, label) is not None:
+                    errors.append(
+                        f"mrt scenario must not carry a {label} section"
+                    )
+            self._check_mrt(self.mrt if self.mrt else MrtSpec(), errors)
         if errors:
             raise ScenarioValidationError(self.name or "<unnamed>", errors)
         return self
@@ -275,6 +317,22 @@ class ScenarioSpec:
                 f"internet.delivery_batching must be a boolean,"
                 f" got {internet.delivery_batching!r}"
             )
+        if internet.archive_policy is not None:
+            from repro.pipeline.sinks import parse_archive_policy
+
+            try:
+                parse_archive_policy(internet.archive_policy)
+            except ValueError as exc:
+                errors.append(f"internet.archive_policy: {exc}")
+        if internet.collector_names is not None:
+            if not internet.collector_names:
+                errors.append("internet.collector_names must not be empty")
+            for name in internet.collector_names:
+                if not isinstance(name, str) or not name.strip():
+                    errors.append(
+                        f"internet.collector_names entries must be"
+                        f" non-empty strings, got {name!r}"
+                    )
         if internet.vendor_mix is not None:
             if not internet.vendor_mix:
                 errors.append("internet.vendor_mix must not be empty")
@@ -294,6 +352,24 @@ class ScenarioSpec:
                         f" > 0, got {weight!r}"
                     )
 
+
+    def _check_mrt(self, mrt: "MrtSpec", errors: "List[str]") -> None:
+        if mrt.path is not None and (
+            not isinstance(mrt.path, str) or not mrt.path.strip()
+        ):
+            errors.append(
+                f"mrt.path must be a non-empty string or None,"
+                f" got {mrt.path!r}"
+            )
+        if not isinstance(mrt.collector, str) or not mrt.collector.strip():
+            errors.append(
+                f"mrt.collector must be a non-empty string,"
+                f" got {mrt.collector!r}"
+            )
+        if not isinstance(mrt.tolerant, bool):
+            errors.append(
+                f"mrt.tolerant must be a boolean, got {mrt.tolerant!r}"
+            )
 
     @staticmethod
     def _effective_fraction(internet: InternetSpec, label: str) -> float:

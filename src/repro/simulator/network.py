@@ -25,7 +25,12 @@ class Network:
     """A simulated BGP internetwork."""
 
     def __init__(
-        self, *, start_time: float = 0.0, batch_delivery: bool = True
+        self,
+        *,
+        start_time: float = 0.0,
+        batch_delivery: bool = True,
+        archive_policy: str = "full",
+        spill_dir: "Optional[str]" = None,
     ):
         self.clock = SimClock(start_time)
         self.queue = EventQueue(self.clock)
@@ -34,6 +39,11 @@ class Network:
         #: ordering guarantee).  Turning this off gives the classic
         #: one-event-per-message granularity.
         self.batch_delivery = bool(batch_delivery)
+        #: Default collector archive policy: ``full`` | ``ring:N`` |
+        #: ``mrt-spill`` (see :mod:`repro.pipeline.sinks`).
+        self.archive_policy = archive_policy
+        #: Directory for ``mrt-spill`` archives (None: system temp).
+        self.spill_dir = spill_dir
         self.routers: Dict[str, Router] = {}
         self.collectors: Dict[str, RouteCollector] = {}
         self.links: Dict[str, Link] = {}
@@ -70,11 +80,32 @@ class Network:
         self.routers[name] = router
         return router
 
-    def add_collector(self, name: str, asn: int = 12_456) -> RouteCollector:
-        """Create and register a route collector."""
+    def add_collector(
+        self,
+        name: str,
+        asn: int = 12_456,
+        *,
+        archive_policy: "Optional[str]" = None,
+        spill_dir: "Optional[str]" = None,
+    ) -> RouteCollector:
+        """Create and register a route collector.
+
+        ``archive_policy``/``spill_dir`` default to the network-wide
+        settings passed to :class:`Network`.
+        """
         if name in self.routers or name in self.collectors:
             raise ValueError(f"duplicate node name: {name}")
-        collector = RouteCollector(self, name, asn)
+        collector = RouteCollector(
+            self,
+            name,
+            asn,
+            archive_policy=(
+                archive_policy
+                if archive_policy is not None
+                else self.archive_policy
+            ),
+            spill_dir=spill_dir if spill_dir is not None else self.spill_dir,
+        )
         self.collectors[name] = collector
         return collector
 

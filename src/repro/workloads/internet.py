@@ -133,6 +133,13 @@ class InternetConfig:
     #: perf A/B comparisons).  With this model's randomly drawn session
     #: delays the collector output is bit-identical either way.
     delivery_batching: bool = True
+    #: Collector archive policy: ``full`` keeps every message in
+    #: memory, ``ring:N`` retains only the newest N, ``mrt-spill``
+    #: streams the archive to an MRT file on disk (bounded memory at
+    #: any run length; replayable through the mrt-replay scenarios).
+    archive_policy: str = "full"
+    #: Directory for ``mrt-spill`` archives (None: system temp).
+    spill_dir: "Optional[str]" = None
     seed: int = 424242
     #: Simulated duration of the "day" in seconds; shorter values give
     #: proportionally faster runs (background events squeeze into the
@@ -221,7 +228,13 @@ class InternetModel:
         self.network = Network(
             start_time=self.config.day_start - 7200.0,
             batch_delivery=self.config.delivery_batching,
+            archive_policy=self.config.archive_policy,
+            spill_dir=self.config.spill_dir,
         )
+        #: Live sinks attached to every collector at creation time, so
+        #: they see the warm-up convergence traffic exactly like the
+        #: archive does (see :meth:`attach_collector_sink`).
+        self._collector_sinks: "List" = []
         self.practices: Dict[int, CommunityPractice] = {}
         self._routers: Dict[int, Router] = {}
         self._taggers: Dict[int, GeoTagger] = {}
@@ -232,6 +245,23 @@ class InternetModel:
         self.beacon_prefixes: List[Prefix] = []
         self._beacon_origins: List[BeaconOrigin] = []
         self._bogon_prefixes: List[Prefix] = []
+
+    # ------------------------------------------------------------------
+    # pipeline attachment
+    # ------------------------------------------------------------------
+    def attach_collector_sink(self, sink) -> "InternetModel":
+        """Stream every collected message to *sink*, live.
+
+        Must be called before :meth:`build` (collectors are wired at
+        creation so sinks observe warm-up convergence exactly like the
+        archives do).  Returns self for chaining.
+        """
+        if self._routers:
+            raise RuntimeError(
+                "attach_collector_sink must be called before build()"
+            )
+        self._collector_sinks.append(sink)
+        return self
 
     # ------------------------------------------------------------------
     # build
@@ -401,6 +431,8 @@ class InternetModel:
         route_server_assigned = not config.include_route_server
         for collector_name in config.collector_names:
             collector = self.network.add_collector(collector_name)
+            for sink in self._collector_sinks:
+                collector.attach_sink(sink)
             count = max(3, int(len(all_specs) * config.collector_peer_fraction))
             peers = rng.sample(all_specs, min(count, len(all_specs)))
             for spec in peers:
@@ -627,10 +659,23 @@ class InternetModel:
         if not self._routers:
             self.build()
         self.schedule_day()
+        self.run_day()
+        return self.simulated_day()
+
+    def run_day(self) -> None:
+        """Execute the scheduled day (build/schedule must be done).
+
+        Split out of :meth:`run` so pipeline drivers that may abort
+        mid-day (early stop) can still assemble the partial
+        :class:`SimulatedDay` via :meth:`simulated_day`.
+        """
         day_end = self.config.day_start + self.config.day_seconds
         self.network.run(until=day_end, max_events=20_000_000)
         # Let in-flight churn settle so archives end cleanly.
         self.network.run(max_events=2_000_000)
+
+    def simulated_day(self) -> SimulatedDay:
+        """The results container for the current network state."""
         return SimulatedDay(
             config=self.config,
             topology=self.topology,
