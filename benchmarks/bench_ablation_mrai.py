@@ -33,6 +33,10 @@ def mrai_specs():
 def test_bench_ablation_mrai(benchmark):
     def sweep():
         report = run_sweep(mrai_specs(), workers=1)
+        # The zip below pairs results with MRAI values positionally;
+        # a silently dropped (failed) cell would misattribute every
+        # later result, so insist on the all-or-nothing contract.
+        report.raise_failures()
         return {
             mrai: result.metrics["update_counts"]["observations"]
             for mrai, result in zip(MRAI_VALUES, report.results)

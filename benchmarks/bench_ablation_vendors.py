@@ -22,6 +22,9 @@ def test_bench_ablation_vendor_dedup(benchmark):
         report = run_sweep(
             [get_scenario(name) for name in FLEETS.values()], workers=1
         )
+        # Positional zip against FLEETS: a dropped failed cell would
+        # shift the pairing, so fail loudly instead.
+        report.raise_failures()
         return dict(zip(FLEETS, report.results))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

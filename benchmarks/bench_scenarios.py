@@ -1,15 +1,18 @@
-"""Scenario engine throughput: parallel sweep vs sequential.
+"""Scenario engine throughput across execution backends.
 
-Times a 4-scenario sweep (the ``topology-tiny`` scenario over four
-seeds) twice through the scenario runner: once pinned to a single
-worker process and once with every available core.  On multi-core
-hosts the parallel sweep should approach ``cores``-fold speed-up since
-scenarios are independent CPU-bound simulations; the benchmark prints
-both wall-clocks plus the ratio so regressions in the runner's process
-fan-out show up as a shrinking speed-up.
+Times the same 4-seed sweep (the ``topology-tiny`` scenario) through
+every execution backend — ``serial``, ``threads``, ``processes`` —
+plus the ``processes`` backend against a cold and a warm spec-hash
+cache.  Simulations are pure-Python CPU-bound work, so on multi-core
+hosts ``processes`` should approach ``cores``-fold speed-up over
+``serial`` while ``threads`` stays near 1x (the GIL serializes it;
+the threads backend earns its keep on I/O-bound ``mrt`` cells
+instead).  Regressions in the pool fan-out show up as a shrinking
+speed-up ratio.
 
-Also demonstrates (and asserts) spec-hash caching: a re-run of the same
-sweep against a warm cache must not simulate anything.
+Also asserts the backend contract end to end: every backend produces
+identical results for identical specs, and a warm cache serves the
+whole sweep without simulating anything.
 """
 
 import os
@@ -24,57 +27,72 @@ def sweep_specs():
     return expand_seeds(get_scenario("topology-tiny"), SEEDS)
 
 
-def test_bench_scenario_sweep_parallelism(benchmark, tmp_path):
+def test_bench_scenario_sweep_backends(benchmark, tmp_path):
     all_cores = os.cpu_count() or 1
 
     def timed_sweeps():
-        sequential = run_sweep(sweep_specs(), workers=1)
-        parallel = run_sweep(sweep_specs(), workers=all_cores)
+        serial = run_sweep(sweep_specs(), workers=1, backend="serial")
+        threads = run_sweep(
+            sweep_specs(), workers=all_cores, backend="threads"
+        )
+        processes = run_sweep(
+            sweep_specs(), workers=all_cores, backend="processes"
+        )
         cold = run_sweep(
             sweep_specs(),
             workers=all_cores,
+            backend="processes",
             cache_dir=str(tmp_path / "cache"),
         )
         warm = run_sweep(
             sweep_specs(),
             workers=all_cores,
+            backend="processes",
             cache_dir=str(tmp_path / "cache"),
         )
-        return sequential, parallel, cold, warm
+        return serial, threads, processes, cold, warm
 
-    sequential, parallel, cold, warm = benchmark.pedantic(
+    serial, threads, processes, cold, warm = benchmark.pedantic(
         timed_sweeps, rounds=1, iterations=1
     )
     speedup = (
-        sequential.elapsed_seconds / parallel.elapsed_seconds
-        if parallel.elapsed_seconds
+        serial.elapsed_seconds / processes.elapsed_seconds
+        if processes.elapsed_seconds
         else 1.0
     )
+    rows = [
+        (
+            report.backend,
+            report.workers if report.backend != "serial" else 1,
+            cache,
+            f"{report.elapsed_seconds:.2f}s",
+        )
+        for report, cache in (
+            (serial, "off"),
+            (threads, "off"),
+            (processes, "off"),
+            (cold, "cold"),
+            (warm, "warm"),
+        )
+    ]
     print()
     print(
         render_table(
-            ("run", "workers", "cache", "wall-clock"),
-            (
-                ("sequential", 1, "off", f"{sequential.elapsed_seconds:.2f}s"),
-                (
-                    "parallel",
-                    all_cores,
-                    "off",
-                    f"{parallel.elapsed_seconds:.2f}s",
-                ),
-                ("parallel", all_cores, "cold", f"{cold.elapsed_seconds:.2f}s"),
-                ("parallel", all_cores, "warm", f"{warm.elapsed_seconds:.2f}s"),
-            ),
+            ("backend", "workers", "cache", "wall-clock"),
+            rows,
             title=(
-                f"Scenario sweep: {len(SEEDS)} seeds, 1 vs"
-                f" {all_cores} core(s) (speed-up {speedup:.2f}x)"
+                f"Scenario sweep: {len(SEEDS)} seeds across backends"
+                f" (processes speed-up {speedup:.2f}x over serial)"
             ),
         )
     )
-    # Same seeds => identical results regardless of worker count.
-    for left, right in zip(sequential.results, parallel.results):
-        assert left.spec_hash == right.spec_hash
-        assert left.metrics == right.metrics
+    # Identical specs => identical results, whatever backend ran them.
+    for report in (threads, processes, cold):
+        assert len(report.results) == len(serial.results)
+        assert not report.failures
+        for left, right in zip(serial.results, report.results):
+            assert left.spec_hash == right.spec_hash
+            assert left.metrics == right.metrics
     # The warm re-run is served entirely from the spec-hash cache.
     assert cold.cache_misses == len(SEEDS)
     assert warm.cache_hits == len(SEEDS)

@@ -25,6 +25,39 @@ python -m repro scenario sweep topology-tiny --seeds 1,2 --workers 2 \
     --cache-dir "$CACHE_DIR"
 
 echo
+echo "== smoke: every execution backend =="
+for BACKEND in serial threads processes; do
+    python -m repro scenario sweep topology-tiny --seeds 1,2 --workers 2 \
+        --backend "$BACKEND" --cache-dir "$CACHE_DIR/backend-$BACKEND"
+done
+
+echo
+echo "== smoke: sharded sweep, killed cell, resume round trip =="
+# Shard 0 of 2 computes only its slice of the 4-seed sweep; shard 1's
+# cells stay pending in the shared manifest (as if that invocation was
+# killed before it started).  Then simulate a cell lost to a mid-write
+# kill by deleting one completed cache entry, and let --resume finish
+# the whole sweep from the manifest alone.
+SHARD_CACHE="$CACHE_DIR/sharded"
+python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
+    --shard 0/2 --backend serial --cache-dir "$SHARD_CACHE"
+rm -f "$SHARD_CACHE"/*.v*.json.tmp.*
+FIRST_CELL="$(ls "$SHARD_CACHE"/*.json | grep -v sweep.json | head -n 1)"
+rm -f "$FIRST_CELL"
+python -m repro scenario sweep --resume --cache-dir "$SHARD_CACHE" \
+    --workers 2
+# A final serial pass must be served entirely from the shared cache —
+# the N cooperating invocations converged to the full sweep.
+python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
+    --backend serial --cache-dir "$SHARD_CACHE" \
+    | tee "$CACHE_DIR/converged.txt"
+grep -q "4 hit(s), 0 miss(es)" "$CACHE_DIR/converged.txt"
+
+echo
+echo "== cross-backend determinism suite =="
+python -m pytest tests/test_backend_determinism.py -q
+
+echo
 echo "== smoke: core benchmark harness =="
 # Write to a scratch file so a smoke run never rewrites the tracked
 # BENCH_core.json numbers.

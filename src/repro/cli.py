@@ -121,7 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_sweep = scenario_sub.add_parser(
         "sweep", help="run a multi-seed sweep in parallel"
     )
-    scenario_sweep.add_argument("name", help="registered scenario name")
+    scenario_sweep.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered scenario name (omit with --resume)",
+    )
     scenario_sweep.add_argument(
         "--seeds",
         default=None,
@@ -143,6 +148,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="result cache directory (re-runs are served from cache)",
+    )
+    scenario_sweep.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default="processes",
+        help="execution backend for cache misses (default: processes)",
+    )
+    scenario_sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=(
+            "run only shard I of N (deterministic spec-hash partition;"
+            " cooperating invocations share --cache-dir)"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="per-spec retries before a cell is reported failed",
+    )
+    scenario_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "finish the sweep recorded in --cache-dir's sweep.json"
+            " manifest (recomputes only missing/failed cells)"
+        ),
     )
     scenario_sweep.add_argument(
         "--json",
@@ -331,31 +365,69 @@ def _scenario_sweep(arguments) -> int:
         UnknownScenarioError,
         expand_seeds,
         get_scenario,
+        make_backend,
+        parse_shard,
         result_to_json,
+        resume_sweep,
         run_sweep,
     )
 
     try:
-        base = get_scenario(arguments.name)
-        if arguments.seeds is not None:
-            seeds = [
-                int(part)
-                for part in arguments.seeds.split(",")
-                if part.strip()
-            ]
-        else:
-            seeds = list(
-                range(base.seed, base.seed + arguments.seed_count)
-            )
-        if not seeds:
-            print("no seeds to sweep", file=sys.stderr)
-            return 2
-        specs = expand_seeds(base, seeds)
-        report = run_sweep(
-            specs,
-            workers=arguments.workers,
-            cache_dir=arguments.cache_dir,
+        shard = (
+            parse_shard(arguments.shard)
+            if arguments.shard is not None
+            else None
         )
+        backend = make_backend(arguments.backend, shard=shard)
+        if arguments.resume:
+            if arguments.name is not None:
+                print(
+                    "--resume re-derives the sweep from the manifest;"
+                    " drop the scenario name",
+                    file=sys.stderr,
+                )
+                return 2
+            if arguments.cache_dir is None:
+                print("--resume requires --cache-dir", file=sys.stderr)
+                return 2
+            title = f"Resumed sweep from {arguments.cache_dir}"
+            report = resume_sweep(
+                arguments.cache_dir,
+                workers=arguments.workers,
+                backend=backend,
+                max_retries=arguments.max_retries,
+            )
+        else:
+            if arguments.name is None:
+                print(
+                    "provide a scenario name (or --resume with"
+                    " --cache-dir)",
+                    file=sys.stderr,
+                )
+                return 2
+            base = get_scenario(arguments.name)
+            if arguments.seeds is not None:
+                seeds = [
+                    int(part)
+                    for part in arguments.seeds.split(",")
+                    if part.strip()
+                ]
+            else:
+                seeds = list(
+                    range(base.seed, base.seed + arguments.seed_count)
+                )
+            if not seeds:
+                print("no seeds to sweep", file=sys.stderr)
+                return 2
+            specs = expand_seeds(base, seeds)
+            title = f"Sweep of {arguments.name}: {len(seeds)} seeds"
+            report = run_sweep(
+                specs,
+                workers=arguments.workers,
+                cache_dir=arguments.cache_dir,
+                backend=backend,
+                max_retries=arguments.max_retries,
+            )
     except (UnknownScenarioError, ScenarioValidationError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(message, file=sys.stderr)
@@ -363,12 +435,17 @@ def _scenario_sweep(arguments) -> int:
     except ValueError as exc:
         print(f"bad sweep arguments: {exc}", file=sys.stderr)
         return 2
+    for failure in report.failures:
+        print(failure.describe(), file=sys.stderr)
     if arguments.json:
+        # Stable schema: always the list of completed results.
+        # Failures go to stderr/exit code here and, with --cache-dir,
+        # into the sweep.json manifest for machine consumption.
         payload = [
             json.loads(result_to_json(result)) for result in report.results
         ]
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+        return 1 if report.failures else 0
     rows = [
         (result.name, result.spec_hash, _sweep_summary(result))
         for result in report.results
@@ -377,16 +454,31 @@ def _scenario_sweep(arguments) -> int:
         render_table(
             ("scenario", "spec hash", "summary"),
             rows,
-            title=(
-                f"Sweep of {arguments.name}: {len(seeds)} seeds,"
-                f" {report.workers} worker(s)"
-            ),
+            title=f"{title}, {report.workers} worker(s)",
         )
     )
     print(
         f"cache: {report.cache_hits} hit(s), {report.cache_misses}"
-        f" miss(es); wall-clock {report.elapsed_seconds:.2f}s"
+        f" miss(es); backend {report.backend};"
+        f" wall-clock {report.elapsed_seconds:.2f}s"
     )
+    if report.skipped:
+        print(
+            f"sharded: {report.skipped} cell(s) left to other shards"
+            f" (shared cache converges once every shard has run)"
+        )
+    if report.failures:
+        if report.cache_dir is not None:
+            advice = (
+                f"rerun with --resume --cache-dir {report.cache_dir}"
+                " to retry only those"
+            )
+        else:
+            advice = (
+                "rerun with --cache-dir to make the sweep resumable"
+            )
+        print(f"{len(report.failures)} cell(s) failed; {advice}")
+        return 1
     return 0
 
 

@@ -20,9 +20,14 @@ declarative contract and one engine:
   fanned out through a :class:`CollectorProxy` (update counts,
   community prevalence, duplicate rates, Table 1/2, damping replay,
   lab matrix);
-* :mod:`repro.scenarios.runner` — a multiprocess sweep runner with
-  per-spec result caching keyed on a stable spec hash, so N-seed
-  sweeps use every core and re-runs are free;
+* :mod:`repro.scenarios.backends` — pluggable sweep execution
+  backends (``serial`` / ``threads`` / ``processes`` / ``sharded``)
+  behind one :class:`ExecutionBackend` interface;
+* :mod:`repro.scenarios.runner` — a fault-tolerant, resumable sweep
+  runner with per-spec result caching keyed on a stable spec hash
+  and an on-disk ``sweep.json`` manifest, so N-seed sweeps use every
+  core, re-runs are free, failed cells are reported instead of
+  aborting, and killed sweeps resume where they stopped;
 * :mod:`repro.scenarios.serialize` — spec/result JSON round-trip for
   reproducible, shareable run recipes.
 
@@ -39,6 +44,20 @@ or from the command line::
     repro scenario sweep internet-small --seeds 1,2,3 --workers 4
 """
 
+from repro.scenarios.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    JobFailure,
+    JobOutcome,
+    ProcessBackend,
+    SerialBackend,
+    ShardedBackend,
+    SweepJob,
+    ThreadBackend,
+    make_backend,
+    parse_shard,
+    shard_of,
+)
 from repro.scenarios.collectors import (
     CollectorProxy,
     MetricCollector,
@@ -51,6 +70,7 @@ from repro.scenarios.engine import (
     ScenarioResult,
     internet_config_from_spec,
     run_scenario,
+    run_scenario_json,
 )
 from repro.scenarios.registry import (
     UnknownScenarioError,
@@ -62,12 +82,17 @@ from repro.scenarios.registry import (
     unregister,
 )
 from repro.scenarios.runner import (
+    SweepFailureError,
+    SweepManifest,
     SweepReport,
     SweepRunner,
     expand_seeds,
+    resume_sweep,
     run_sweep,
 )
 from repro.scenarios.serialize import (
+    failure_from_dict,
+    failure_to_dict,
     result_from_json,
     result_to_json,
     spec_from_dict,
@@ -85,6 +110,18 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "JobFailure",
+    "JobOutcome",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardedBackend",
+    "SweepJob",
+    "ThreadBackend",
+    "make_backend",
+    "parse_shard",
+    "shard_of",
     "CollectorProxy",
     "MetricCollector",
     "ScenarioContext",
@@ -94,6 +131,7 @@ __all__ = [
     "ScenarioResult",
     "internet_config_from_spec",
     "run_scenario",
+    "run_scenario_json",
     "UnknownScenarioError",
     "all_scenarios",
     "get_scenario",
@@ -101,10 +139,15 @@ __all__ = [
     "scenario",
     "scenario_names",
     "unregister",
+    "SweepFailureError",
+    "SweepManifest",
     "SweepReport",
     "SweepRunner",
     "expand_seeds",
+    "resume_sweep",
     "run_sweep",
+    "failure_from_dict",
+    "failure_to_dict",
     "result_from_json",
     "result_to_json",
     "spec_from_dict",

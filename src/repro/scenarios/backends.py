@@ -1,0 +1,392 @@
+"""Pluggable sweep execution backends.
+
+The sweep runner used to be welded to one ``ProcessPoolExecutor``.
+This module turns "how do the cells of a sweep actually execute" into
+a small strategy interface, :class:`ExecutionBackend`, with four
+implementations:
+
+``serial``
+    One cell at a time, in this process.  Zero moving parts: plain
+    stack traces, ``pdb`` works, profilers see everything.  The
+    reference implementation the determinism suite measures the other
+    backends against.
+
+``threads``
+    A ``ThreadPoolExecutor``.  Simulations are pure-Python CPU-bound
+    work, so threads buy nothing for the classic kinds — but ``mrt``
+    replay cells spend their time in file I/O and future remote
+    sources will spend it on sockets, and those overlap fine under
+    the GIL.
+
+``processes``
+    A ``ProcessPoolExecutor`` — the original behavior, refactored
+    onto the interface.  The right default for CPU-bound sweeps.
+
+``sharded``
+    A deterministic partitioner wrapped around any inner backend.
+    Shard ``i`` of ``n`` owns a cell iff
+    ``shard_of(digest, n) == i``; everything else is left untouched
+    for the other ``n - 1`` invocations.  Because ownership is a pure
+    function of the spec hash, independent invocations — separate
+    shells, cron jobs, machines over a shared filesystem — cooperate
+    through the shared spec-hash cache without ever talking to each
+    other.
+
+Every backend speaks the same job protocol: a :class:`SweepJob` is
+``(digest, name, spec JSON)``, an outcome is either a result JSON
+payload or a :class:`JobFailure` carrying the spec's name, hash and
+full traceback.  Workers never raise into the coordinator — a
+crashing cell becomes data, not a dead sweep — and every error is
+wrapped with enough context to know *which* spec failed.
+
+Backends must invoke the optional ``on_outcome`` callback from the
+coordinating thread (the one that called :meth:`run_jobs`), so the
+runner can checkpoint caches and manifests without locking.
+"""
+
+from __future__ import annotations
+
+import traceback as traceback_module
+from abc import ABC, abstractmethod
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.scenarios.engine import run_scenario_json
+
+#: Names accepted by :func:`make_backend` (``sharded`` additionally
+#: needs a ``shard=(index, count)``).
+BACKEND_NAMES = ("serial", "threads", "processes", "sharded")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One sweep cell as the backends see it: pure strings.
+
+    Backends exchange nothing but JSON text with their workers, which
+    keeps the multiprocessing surface tiny and doubles as the
+    cross-process determinism contract — identical specs must produce
+    byte-identical payloads no matter which backend or worker ran
+    them.
+    """
+
+    digest: str
+    name: str
+    spec_json: str
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A sweep cell that kept failing after every allowed retry."""
+
+    name: str
+    spec_hash: str
+    #: One-line ``ExceptionType: message`` summary.
+    error: str
+    #: The full traceback text of the final attempt.
+    traceback: str
+    #: Total attempts made (1 + retries).
+    attempts: int
+
+    def describe(self) -> str:
+        """Human-oriented one-liner with the spec context attached."""
+        return (
+            f"scenario {self.name!r} [spec {self.spec_hash}] failed"
+            f" after {self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What became of one executed job: a payload or a failure."""
+
+    job: SweepJob
+    result_json: "Optional[str]" = None
+    failure: "Optional[JobFailure]" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result_json is not None
+
+
+#: Signature of the per-outcome checkpoint hook.
+OutcomeHook = Callable[[JobOutcome], None]
+
+
+def attempt_job(
+    args: "Tuple[str, str, str, int]",
+) -> "Tuple[str, Optional[str], Optional[str], Optional[str], int]":
+    """Worker entry point shared by every backend.
+
+    Takes ``(name, digest, spec_json, max_retries)`` and returns
+    ``(digest, result_json, error, traceback, attempts)`` — plain
+    picklable tuples in both directions so the same function runs
+    inline, on a thread or in a pool process.  Exceptions never
+    propagate: they are retried up to ``max_retries`` times and then
+    reported as data, so one broken cell cannot take down a pool (the
+    old behavior was a bare ``future.result()`` traceback with no hint
+    of which spec died).
+    """
+    name, digest, spec_json, max_retries = args
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return digest, run_scenario_json(spec_json), None, None, attempts
+        except Exception as exc:  # noqa: BLE001 — reported, not hidden
+            if attempts > max_retries:
+                summary = f"{type(exc).__name__}: {exc}"
+                return (
+                    digest,
+                    None,
+                    summary,
+                    traceback_module.format_exc(),
+                    attempts,
+                )
+
+
+def _outcome(job: SweepJob, reply) -> JobOutcome:
+    """Fold a worker reply tuple back into a :class:`JobOutcome`."""
+    _, result_json, error, traceback_text, attempts = reply
+    if result_json is not None:
+        return JobOutcome(job=job, result_json=result_json)
+    return JobOutcome(
+        job=job,
+        failure=JobFailure(
+            name=job.name,
+            spec_hash=job.digest,
+            error=error or "unknown error",
+            traceback=traceback_text or "",
+            attempts=attempts,
+        ),
+    )
+
+
+class ExecutionBackend(ABC):
+    """Strategy interface: how a batch of sweep jobs executes."""
+
+    #: Registry/CLI name; subclasses must set it.
+    name: str = ""
+
+    @abstractmethod
+    def run_jobs(
+        self,
+        jobs: "Sequence[SweepJob]",
+        *,
+        workers: int = 1,
+        max_retries: int = 0,
+        on_outcome: "Optional[OutcomeHook]" = None,
+    ) -> "List[JobOutcome]":
+        """Execute *jobs* and return one outcome per executed job.
+
+        A sharding backend may execute fewer jobs than it was given;
+        jobs it does not own simply have no outcome.  ``on_outcome``
+        fires once per outcome, from the coordinating thread, as soon
+        as that outcome is known — the runner uses it to checkpoint
+        the cache and manifest so a killed sweep loses at most the
+        cells that were mid-flight.
+        """
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one cell at a time — the debugging backend."""
+
+    name = "serial"
+
+    def run_jobs(self, jobs, *, workers=1, max_retries=0, on_outcome=None):
+        outcomes: "List[JobOutcome]" = []
+        for job in jobs:
+            reply = attempt_job(
+                (job.name, job.digest, job.spec_json, max_retries)
+            )
+            outcome = _outcome(job, reply)
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+        return outcomes
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared submit/collect loop for the two executor-pool backends."""
+
+    def _make_pool(self, workers: int):
+        raise NotImplementedError
+
+    def run_jobs(self, jobs, *, workers=1, max_retries=0, on_outcome=None):
+        if not jobs:
+            return []
+        if workers == 1 or len(jobs) == 1:
+            # One lane is just the serial loop; skip the pool overhead
+            # (and, for processes, the fork) entirely.  The determinism
+            # suite pins that this shortcut changes no payload byte.
+            return SerialBackend().run_jobs(
+                jobs, max_retries=max_retries, on_outcome=on_outcome
+            )
+        outcomes: "List[JobOutcome]" = []
+        with self._make_pool(min(workers, len(jobs))) as pool:
+            futures = {
+                pool.submit(
+                    attempt_job,
+                    (job.name, job.digest, job.spec_json, max_retries),
+                ): job
+                for job in jobs
+            }
+            for future in as_completed(futures):
+                job = futures[future]
+                try:
+                    reply = future.result()
+                except Exception as exc:  # noqa: BLE001
+                    # attempt_job never raises, so landing here means
+                    # the worker itself died (segfault, OOM kill —
+                    # BrokenProcessPool) or the pool broke down.  Fold
+                    # it into a failure like any other so the sweep
+                    # keeps its remaining cells instead of aborting
+                    # with an anonymous pool traceback.
+                    reply = (
+                        job.digest,
+                        None,
+                        f"worker died: {type(exc).__name__}: {exc}",
+                        traceback_module.format_exc(),
+                        1,
+                    )
+                outcome = _outcome(job, reply)
+                outcomes.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+        # Deterministic reporting order regardless of completion order.
+        order = {job.digest: index for index, job in enumerate(jobs)}
+        outcomes.sort(key=lambda outcome: order[outcome.job.digest])
+        return outcomes
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread pool — for I/O-bound cells (mrt replay, remote feeds)."""
+
+    name = "threads"
+
+    def _make_pool(self, workers: int):
+        return ThreadPoolExecutor(max_workers=workers)
+
+
+class ProcessBackend(_PoolBackend):
+    """Process pool — the CPU-bound default (the original behavior)."""
+
+    name = "processes"
+
+    def _make_pool(self, workers: int):
+        return ProcessPoolExecutor(max_workers=workers)
+
+
+def shard_of(digest: str, shard_count: int) -> int:
+    """Which shard owns a spec hash.  Pure, stable, order-free.
+
+    Keying on the digest (not the position in the spec list) means
+    ownership survives reordering, deduplication and sweep growth —
+    two invocations never compute the same cell twice, and no cell is
+    orphaned, as long as they agree on ``shard_count``.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count!r}")
+    return int(digest[:8], 16) % shard_count
+
+
+class ShardedBackend(ExecutionBackend):
+    """Deterministic partition of a sweep across cooperating runs."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        inner: "Optional[ExecutionBackend]" = None,
+    ):
+        if shard_count < 1:
+            raise ValueError(
+                f"shard count must be >= 1, got {shard_count!r}"
+            )
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard index must be in [0, {shard_count}),"
+                f" got {shard_index!r}"
+            )
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.inner = inner if inner is not None else ProcessBackend()
+
+    def owns(self, digest: str) -> bool:
+        """True when this shard is responsible for *digest*."""
+        return shard_of(digest, self.shard_count) == self.shard_index
+
+    def run_jobs(self, jobs, *, workers=1, max_retries=0, on_outcome=None):
+        owned = [job for job in jobs if job.digest and self.owns(job.digest)]
+        return self.inner.run_jobs(
+            owned,
+            workers=workers,
+            max_retries=max_retries,
+            on_outcome=on_outcome,
+        )
+
+
+def parse_shard(text: str) -> "Tuple[int, int]":
+    """Parse a CLI ``--shard I/N`` value into ``(index, count)``."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like I/N (e.g. 0/4), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, count) with count >= 1,"
+            f" got {text!r}"
+        )
+    return index, count
+
+
+_FACTORIES: "Dict[str, Callable[[], ExecutionBackend]]" = {
+    "serial": SerialBackend,
+    "threads": ThreadBackend,
+    "processes": ProcessBackend,
+}
+
+
+def make_backend(
+    backend: "ExecutionBackend | str | None" = None,
+    *,
+    shard: "Optional[Tuple[int, int]]" = None,
+) -> ExecutionBackend:
+    """Resolve a backend name/instance, optionally wrapped in a shard.
+
+    ``None`` means the default (``processes``).  ``shard=(i, n)``
+    wraps whatever was chosen in a :class:`ShardedBackend`, so
+    ``--backend threads --shard 1/4`` composes the way you'd hope.
+    """
+    if isinstance(backend, ExecutionBackend):
+        resolved = backend
+    elif backend is None:
+        resolved = ProcessBackend()
+    elif backend == "sharded":
+        if shard is None:
+            raise ValueError(
+                "backend 'sharded' needs shard=(index, count)"
+                " (CLI: --shard I/N)"
+            )
+        resolved = None  # built below, around the default inner
+    else:
+        try:
+            resolved = _FACTORIES[backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown execution backend {backend!r}; choose from:"
+                f" {', '.join(BACKEND_NAMES)}"
+            ) from None
+    if shard is not None:
+        index, count = shard
+        return ShardedBackend(index, count, inner=resolved)
+    return resolved

@@ -44,7 +44,11 @@ from repro.scenarios.collectors import (
     ScenarioContext,
     make_collectors,
 )
-from repro.scenarios.serialize import spec_hash
+from repro.scenarios.serialize import (
+    result_to_json,
+    spec_from_json,
+    spec_hash,
+)
 from repro.scenarios.spec import (
     InternetSpec,
     LabSpec,
@@ -151,6 +155,20 @@ def run_scenario(
         stopped_early=stopped,
         spill_paths=spill_paths,
     )
+
+
+def run_scenario_json(spec_json: str) -> str:
+    """Worker entry point for the execution backends: JSON in, JSON out.
+
+    Every backend — inline, thread pool, process pool — funnels sweep
+    cells through this one function, so the spec/result JSON text is
+    the *entire* contract between coordinator and worker.  That keeps
+    the multiprocessing surface to two strings and turns determinism
+    into something checkable: identical spec text must yield
+    byte-identical result text wherever it ran (the cross-backend
+    determinism suite asserts exactly that).
+    """
+    return result_to_json(run_scenario(spec_from_json(spec_json)))
 
 
 # ----------------------------------------------------------------------

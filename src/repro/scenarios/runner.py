@@ -1,33 +1,55 @@
-"""Parallel sweep runner with per-spec result caching.
+"""Fault-tolerant, resumable sweep runner over pluggable backends.
 
 A sweep is just a list of specs — typically one scenario expanded over
-N seeds (:func:`expand_seeds`) or several registry entries.  The runner
-farms misses out to a process pool (simulations are pure Python and
-CPU-bound, so threads would serialize on the GIL) and keys a JSON
-result cache on the stable spec hash, so re-running a sweep is free and
-adding one seed only computes one new cell.
+N seeds (:func:`expand_seeds`) or several registry entries.  The
+runner keys a JSON result cache on the stable spec hash, farms the
+misses out to an :class:`~repro.scenarios.backends.ExecutionBackend`
+(serial / threads / processes / sharded — see
+:mod:`repro.scenarios.backends`), and reports what happened in a
+:class:`SweepReport`.
 
-Worker processes exchange nothing but JSON strings: the parent sends a
-serialized spec, the child returns a serialized result.  That keeps the
-multiprocessing surface tiny and doubles as a cross-process
-determinism check — identical specs must produce byte-identical
-payloads no matter which worker ran them.
+Three properties make large campaigns survivable:
+
+* **Fault tolerance** — a crashing cell no longer kills the sweep.
+  Each spec is retried up to ``max_retries`` times; a cell that keeps
+  failing lands in :attr:`SweepReport.failures` with its spec name,
+  hash and full traceback while every other cell completes.
+* **Resumability** — with a ``cache_dir``, the runner checkpoints a
+  ``sweep.json`` manifest recording every cell's spec, hash and
+  completion state, updated as each outcome arrives.  A killed sweep
+  (Ctrl-C, OOM, a dead machine) resumes with
+  :func:`resume_sweep`/``repro scenario sweep --resume`` and
+  recomputes only the missing or failed cells.
+* **Sharding** — a :class:`~repro.scenarios.backends.ShardedBackend`
+  makes N independent invocations over a shared ``cache_dir``
+  converge to the same results as one serial run, because cell
+  ownership is a pure function of the spec hash and completed cells
+  meet in the cache.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.backends import (
+    ExecutionBackend,
+    JobFailure,
+    JobOutcome,
+    SweepJob,
+    make_backend,
+)
+from repro.scenarios.engine import ScenarioResult, run_scenario_json
 from repro.scenarios.serialize import (
+    failure_from_dict,
+    failure_to_dict,
     result_from_json,
-    result_to_json,
-    spec_from_json,
+    spec_from_dict,
     spec_hash,
+    spec_to_dict,
     spec_to_json,
 )
 from repro.scenarios.spec import ScenarioSpec
@@ -38,6 +60,10 @@ from repro.scenarios.spec import ScenarioSpec
 #: ``--cache-dir`` trees from older toolkit versions are recomputed
 #: instead of silently served as current numbers.
 CACHE_VERSION = "v1"
+
+#: Manifest filename inside the cache dir, and its schema version.
+MANIFEST_NAME = "sweep.json"
+MANIFEST_VERSION = "v1"
 
 
 def expand_seeds(
@@ -50,9 +76,22 @@ def expand_seeds(
     ]
 
 
-def _run_spec_json(spec_json: str) -> str:
-    """Process-pool entry point: JSON spec in, JSON result out."""
-    return result_to_json(run_scenario(spec_from_json(spec_json)))
+#: Backwards-compatible alias: the pool entry point moved to the
+#: engine layer so every backend shares one worker function.
+_run_spec_json = run_scenario_json
+
+
+class SweepFailureError(RuntimeError):
+    """Raised by :meth:`SweepReport.raise_failures`; lists every cell."""
+
+    def __init__(self, failures: "Sequence[JobFailure]"):
+        self.failures = list(failures)
+        details = "\n".join(
+            f"  - {failure.describe()}" for failure in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed:\n{details}"
+        )
 
 
 @dataclass
@@ -65,25 +104,207 @@ class SweepReport:
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
     cache_dir: "Optional[str]" = None
+    #: Name of the execution backend that ran the misses.
+    backend: str = "processes"
+    #: Cells that kept failing after every retry (the sweep still
+    #: completed every other cell).
+    failures: "List[JobFailure]" = field(default_factory=list)
+    #: Cells owned by other shards of a sharded sweep — not computed
+    #: here, expected to arrive in the shared cache from cooperating
+    #: invocations.
+    skipped: int = 0
 
     def by_name(self) -> "Dict[str, ScenarioResult]":
         """Results keyed by scenario name."""
         return {result.name: result for result in self.results}
 
+    def raise_failures(self) -> None:
+        """Raise :class:`SweepFailureError` if any cell failed.
+
+        Fault tolerance is the default — callers that need the old
+        all-or-nothing behavior opt back in with one call.
+        """
+        if self.failures:
+            raise SweepFailureError(self.failures)
+
+
+class SweepManifest:
+    """The on-disk record that makes sweeps resumable.
+
+    One JSON file (``sweep.json``) per cache dir, mapping each cell's
+    spec hash to its spec payload and completion state (``pending`` /
+    ``done`` / ``failed`` + error context).  The runner checkpoints it
+    as every outcome arrives, so after a kill the manifest plus the
+    per-cell cache files are enough to reconstruct and finish the
+    sweep — :func:`resume_sweep` re-derives the spec list from the
+    manifest alone, no CLI arguments to repeat.
+
+    Cells accumulate across invocations sharing the cache dir (that is
+    what lets shards cooperate); states only ever move forward
+    (``pending`` -> ``failed`` -> ``done``), never back — including
+    across *concurrent* invocations: :meth:`save` re-reads the on-disk
+    manifest and merges before replacing it, so two shards
+    checkpointing into the same file cannot erase each other's
+    progress.
+
+    Manifest state is a convenience layer over the per-cell cache
+    files, not the source of truth: a cell whose state was lost to a
+    kill but whose cache file survived is simply served as a hit on
+    resume.  That is what makes throttled checkpointing
+    (:meth:`maybe_save`) safe.
+    """
+
+    #: Ordered worst-to-best; merges keep the further-along state.
+    _STATE_RANK = {"pending": 0, "failed": 1, "done": 2}
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        self.path = os.path.join(cache_dir, MANIFEST_NAME)
+        #: digest -> {"name", "spec", "state", ["failure"]}
+        self.cells: "Dict[str, dict]" = {}
+        self._last_save = 0.0
+
+    @classmethod
+    def load(cls, cache_dir: str) -> "SweepManifest":
+        """Read the manifest; a missing/corrupt file is an empty one."""
+        manifest = cls(cache_dir)
+        try:
+            with open(manifest.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return manifest
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != MANIFEST_VERSION
+            or not isinstance(data.get("cells"), dict)
+        ):
+            return manifest
+        for digest, cell in data["cells"].items():
+            if isinstance(cell, dict) and isinstance(cell.get("spec"), dict):
+                manifest.cells[str(digest)] = cell
+        return manifest
+
+    def _merge_disk_state(self) -> None:
+        """Fold a concurrent invocation's progress into our cells.
+
+        Another shard may have checkpointed since we loaded; whoever
+        writes last must not demote the other's ``done``/``failed``
+        marks back to what we saw at load time.
+        """
+        on_disk = SweepManifest.load(self.cache_dir)
+        rank = self._STATE_RANK
+        for digest, cell in on_disk.cells.items():
+            ours = self.cells.get(digest)
+            if ours is None:
+                self.cells[digest] = cell
+                continue
+            theirs_rank = rank.get(cell.get("state", "pending"), 0)
+            if theirs_rank > rank.get(ours.get("state", "pending"), 0):
+                ours["state"] = cell["state"]
+                if "failure" in cell:
+                    ours["failure"] = cell["failure"]
+                elif cell["state"] == "done":
+                    ours.pop("failure", None)
+
+    def save(self) -> None:
+        """Atomically checkpoint the manifest to disk (merge-safe)."""
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self._merge_disk_state()
+        payload = json.dumps(
+            {"version": MANIFEST_VERSION, "cells": self.cells},
+            indent=2,
+            sort_keys=True,
+        )
+        temporary = f"{self.path}.tmp.{os.getpid()}"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(temporary, self.path)
+        self._last_save = time.monotonic()
+
+    def maybe_save(self, min_interval: float = 0.5) -> None:
+        """Checkpoint, but at most every *min_interval* seconds.
+
+        Large sweeps would otherwise rewrite the whole manifest once
+        per cell (O(cells^2) total work).  Skipping a checkpoint risks
+        nothing: completed cells live in their own cache files, so a
+        kill inside the interval costs a stale manifest *state*, never
+        a recomputation — resume serves those cells as cache hits.
+        """
+        if time.monotonic() - self._last_save >= min_interval:
+            self.save()
+
+    def record(
+        self, specs: "Sequence[ScenarioSpec]", digests: "Sequence[str]"
+    ) -> None:
+        """Merge this invocation's cells in, without demoting states."""
+        for spec, digest in zip(specs, digests):
+            if digest not in self.cells:
+                self.cells[digest] = {
+                    "name": spec.name,
+                    "spec": spec_to_dict(spec),
+                    "state": "pending",
+                }
+
+    def mark(
+        self,
+        digest: str,
+        state: str,
+        failure: "Optional[JobFailure]" = None,
+    ) -> None:
+        cell = self.cells.get(digest)
+        if cell is None:
+            return
+        cell["state"] = state
+        if failure is not None:
+            cell["failure"] = failure_to_dict(failure)
+        else:
+            cell.pop("failure", None)
+
+    def specs(self) -> "List[ScenarioSpec]":
+        """Every recorded cell's spec, in stable (name, hash) order."""
+        ordered = sorted(
+            self.cells.items(),
+            key=lambda item: (item[1].get("name", ""), item[0]),
+        )
+        return [spec_from_dict(cell["spec"]) for _, cell in ordered]
+
+    def states(self) -> "Dict[str, str]":
+        """digest -> state, for tests and status displays."""
+        return {
+            digest: cell.get("state", "pending")
+            for digest, cell in self.cells.items()
+        }
+
+    def failures(self) -> "List[JobFailure]":
+        """The recorded failures, name-ordered."""
+        return [
+            failure_from_dict(cell["failure"])
+            for _, cell in sorted(self.cells.items())
+            if cell.get("state") == "failed" and "failure" in cell
+        ]
+
 
 class SweepRunner:
-    """Runs spec batches, in parallel, through the result cache."""
+    """Runs spec batches through the cache and a pluggable backend."""
 
     def __init__(
         self,
         *,
         workers: "Optional[int]" = None,
         cache_dir: "Optional[str]" = None,
+        backend: "ExecutionBackend | str | None" = None,
+        max_retries: int = 0,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {max_retries!r}"
+            )
         self.workers = workers or (os.cpu_count() or 1)
         self.cache_dir = cache_dir
+        self.backend = make_backend(backend)
+        self.max_retries = max_retries
 
     # ------------------------------------------------------------------
     # cache
@@ -102,8 +323,10 @@ class SweepRunner:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 return result_from_json(handle.read())
-        except (OSError, ValueError, KeyError):
-            return None  # corrupt entry: recompute and overwrite
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt/truncated/wrong-schema entry: treat as a miss —
+            # recompute and overwrite, never serve it stale.
+            return None
 
     def _cache_store(self, digest: str, payload: str) -> None:
         path = self._cache_path(digest)
@@ -126,60 +349,77 @@ class SweepRunner:
         digests = [spec_hash(spec) for spec in specs]
         slots: "List[Optional[ScenarioResult]]" = [None] * len(specs)
         report = SweepReport(
-            results=[], workers=self.workers, cache_dir=self.cache_dir
+            results=[],
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            backend=self.backend.name,
         )
 
+        manifest: "Optional[SweepManifest]" = None
+        if self.cache_dir is not None:
+            manifest = SweepManifest.load(self.cache_dir)
+            manifest.record(specs, digests)
+
         pending: "List[int]" = []
-        computed: "Dict[str, ScenarioResult]" = {}
         for index, digest in enumerate(digests):
             cached = self._cache_load(digest)
             if cached is not None:
                 slots[index] = cached
                 report.cache_hits += 1
+                if manifest is not None:
+                    manifest.mark(digest, "done")
             else:
                 pending.append(index)
+        if manifest is not None:
+            manifest.save()
 
         unique_pending: "Dict[str, int]" = {}
         for index in pending:
             unique_pending.setdefault(digests[index], index)
-        report.cache_misses = len(unique_pending)
-
-        payloads = {
-            digest: spec_to_json(specs[index], indent=None)
+        jobs = [
+            SweepJob(
+                digest=digest,
+                name=specs[index].name,
+                spec_json=spec_to_json(specs[index], indent=None),
+            )
             for digest, index in unique_pending.items()
-        }
-        outputs = self._execute(list(payloads.items()))
-        for digest, result_json in outputs.items():
-            self._cache_store(digest, result_json)
-            computed[digest] = result_from_json(result_json)
+        ]
+
+        computed: "Dict[str, ScenarioResult]" = {}
+
+        def checkpoint(outcome: JobOutcome) -> None:
+            # Runs on the coordinating thread as each cell finishes,
+            # so a killed sweep keeps everything that completed (the
+            # cache file per cell is the durable record; the manifest
+            # checkpoint is throttled on top of it).
+            digest = outcome.job.digest
+            if outcome.ok:
+                self._cache_store(digest, outcome.result_json)
+                computed[digest] = result_from_json(outcome.result_json)
+                if manifest is not None:
+                    manifest.mark(digest, "done")
+            else:
+                report.failures.append(outcome.failure)
+                if manifest is not None:
+                    manifest.mark(digest, "failed", outcome.failure)
+            if manifest is not None:
+                manifest.maybe_save()
+
+        outcomes = self.backend.run_jobs(
+            jobs,
+            workers=self.workers,
+            max_retries=self.max_retries,
+            on_outcome=checkpoint,
+        )
+        if manifest is not None:
+            manifest.save()
+        report.cache_misses = len(outcomes)
+        report.skipped = len(jobs) - len(outcomes)
         for index in pending:
-            slots[index] = computed[digests[index]]
+            slots[index] = computed.get(digests[index])
         report.results = [slot for slot in slots if slot is not None]
         report.elapsed_seconds = time.perf_counter() - started
         return report
-
-    def _execute(
-        self, jobs: "List[tuple[str, str]]"
-    ) -> "Dict[str, str]":
-        """Run (digest, spec JSON) jobs; return digest -> result JSON."""
-        if not jobs:
-            return {}
-        if self.workers == 1 or len(jobs) == 1:
-            return {
-                digest: _run_spec_json(spec_json)
-                for digest, spec_json in jobs
-            }
-        outputs: "Dict[str, str]" = {}
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(jobs))
-        ) as pool:
-            futures = {
-                digest: pool.submit(_run_spec_json, spec_json)
-                for digest, spec_json in jobs
-            }
-            for digest, future in futures.items():
-                outputs[digest] = future.result()
-        return outputs
 
 
 def run_sweep(
@@ -187,6 +427,43 @@ def run_sweep(
     *,
     workers: "Optional[int]" = None,
     cache_dir: "Optional[str]" = None,
+    backend: "ExecutionBackend | str | None" = None,
+    max_retries: int = 0,
 ) -> SweepReport:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(workers=workers, cache_dir=cache_dir).run(specs)
+    return SweepRunner(
+        workers=workers,
+        cache_dir=cache_dir,
+        backend=backend,
+        max_retries=max_retries,
+    ).run(specs)
+
+
+def resume_sweep(
+    cache_dir: str,
+    *,
+    workers: "Optional[int]" = None,
+    backend: "ExecutionBackend | str | None" = None,
+    max_retries: int = 0,
+) -> SweepReport:
+    """Finish a sweep recorded in *cache_dir*'s manifest.
+
+    Re-derives the full spec list from ``sweep.json`` — no need to
+    repeat the original scenario name, seeds or shard arguments — and
+    runs it: ``done`` cells are cache hits, ``pending``/``failed``
+    cells (and cells whose cache file was lost mid-write) are the only
+    ones recomputed.  The returned report therefore converges to what
+    one uninterrupted run would have produced.
+    """
+    manifest = SweepManifest.load(cache_dir)
+    if not manifest.cells:
+        raise ValueError(
+            f"no resumable sweep: {os.path.join(cache_dir, MANIFEST_NAME)}"
+            " is missing or empty"
+        )
+    return SweepRunner(
+        workers=workers,
+        cache_dir=cache_dir,
+        backend=backend,
+        max_retries=max_retries,
+    ).run(manifest.specs())

@@ -190,3 +190,30 @@ def result_to_json(result, *, indent: "int | None" = None) -> str:
 def result_from_json(text: str):
     """Parse a result from JSON text."""
     return result_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# sweep failures <-> dict
+# ----------------------------------------------------------------------
+def failure_to_dict(failure) -> "Dict[str, Any]":
+    """Plain-data form of a :class:`JobFailure` (manifest/JSON output)."""
+    return {
+        "name": failure.name,
+        "spec_hash": failure.spec_hash,
+        "error": failure.error,
+        "traceback": failure.traceback,
+        "attempts": failure.attempts,
+    }
+
+
+def failure_from_dict(data: "Dict[str, Any]"):
+    """Rebuild a :class:`JobFailure` from its dict form."""
+    from repro.scenarios.backends import JobFailure
+
+    return JobFailure(
+        name=str(data.get("name", "<unknown>")),
+        spec_hash=str(data.get("spec_hash", "")),
+        error=str(data.get("error", "unknown error")),
+        traceback=str(data.get("traceback", "")),
+        attempts=int(data.get("attempts", 1)),
+    )

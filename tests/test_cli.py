@@ -102,6 +102,32 @@ class TestScenarioParser:
         assert arguments.seeds == "1,2,3"
         assert arguments.workers == 2
 
+    def test_sweep_backend_arguments(self):
+        arguments = build_parser().parse_args(
+            [
+                "scenario",
+                "sweep",
+                "internet-small",
+                "--backend",
+                "serial",
+                "--shard",
+                "0/2",
+                "--max-retries",
+                "2",
+            ]
+        )
+        assert arguments.backend == "serial"
+        assert arguments.shard == "0/2"
+        assert arguments.max_retries == 2
+        assert not arguments.resume
+
+    def test_sweep_name_optional_for_resume(self):
+        arguments = build_parser().parse_args(
+            ["scenario", "sweep", "--resume", "--cache-dir", "/tmp/c"]
+        )
+        assert arguments.name is None
+        assert arguments.resume
+
 
 class TestScenarioCommand:
     def test_list_shows_catalog(self, capsys):
@@ -175,6 +201,98 @@ class TestScenarioCommand:
         assert main(arguments) == 0
         second = capsys.readouterr().out
         assert "2 hit(s)" in second
+
+    def test_sweep_resume_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        first = [
+            "scenario",
+            "sweep",
+            "lab-junos",
+            "--seeds",
+            "1,2",
+            "--workers",
+            "1",
+            "--backend",
+            "serial",
+            "--cache-dir",
+            cache,
+        ]
+        assert main(first) == 0
+        capsys.readouterr()
+        resumed = [
+            "scenario",
+            "sweep",
+            "--resume",
+            "--cache-dir",
+            cache,
+            "--workers",
+            "1",
+        ]
+        assert main(resumed) == 0
+        out = capsys.readouterr().out
+        assert "Resumed sweep" in out
+        assert "2 hit(s), 0 miss(es)" in out
+
+    def test_sweep_resume_requires_cache_dir(self, capsys):
+        assert main(["scenario", "sweep", "--resume"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_sweep_resume_rejects_scenario_name(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    "lab-junos",
+                    "--resume",
+                    "--cache-dir",
+                    "/tmp/does-not-matter",
+                ]
+            )
+            == 2
+        )
+        assert "drop the scenario name" in capsys.readouterr().err
+
+    def test_sweep_without_name_or_resume(self, capsys):
+        assert main(["scenario", "sweep"]) == 2
+        assert "scenario name" in capsys.readouterr().err
+
+    def test_sweep_bad_shard_rejected(self, capsys):
+        assert (
+            main(
+                ["scenario", "sweep", "lab-junos", "--shard", "5/2"]
+            )
+            == 2
+        )
+        assert "shard" in capsys.readouterr().err
+
+    def test_sweep_failure_reported_with_spec_context(self, capsys):
+        # mrt-replay cells have no --input in a sweep, so every cell
+        # fails at run time; the CLI must name the spec, not dump an
+        # anonymous pool traceback, and exit nonzero.
+        assert (
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    "mrt-replay",
+                    "--seeds",
+                    "1",
+                    "--workers",
+                    "1",
+                    "--backend",
+                    "serial",
+                ]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "mrt-replay@seed1" in captured.err
+        assert "failed after 1 attempt(s)" in captured.err
+        # No --cache-dir was given, so there is nothing to resume;
+        # the advice must say how to make the next run resumable.
+        assert "--cache-dir" in captured.out
+        assert "--resume" not in captured.out
 
 
 class TestModuleEntryPoint:

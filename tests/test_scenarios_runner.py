@@ -144,6 +144,91 @@ class TestCache:
         assert report.results[0].metrics == report.results[1].metrics
 
 
+class TestCacheRobustness:
+    """Damaged cache entries are misses — never crashes, never stale."""
+
+    def _entry_path(self, cache: str, spec: ScenarioSpec) -> str:
+        from repro.scenarios.runner import CACHE_VERSION
+
+        return os.path.join(
+            cache, f"{spec_hash(spec)}.{CACHE_VERSION}.json"
+        )
+
+    def _assert_recomputed(self, cache: str, spec, reference) -> None:
+        report = run_sweep([spec], workers=1, cache_dir=cache)
+        assert report.cache_hits == 0
+        assert report.cache_misses == 1
+        assert report.results[0].metrics == reference.metrics
+        # The damaged entry was overwritten with a valid one.
+        with open(self._entry_path(cache, spec), encoding="utf-8") as handle:
+            from repro.scenarios import result_from_json
+
+            healed = result_from_json(handle.read())
+        assert healed.metrics == reference.metrics
+
+    @pytest.fixture()
+    def warm_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        spec = tiny_spec()
+        reference = run_sweep([spec], workers=1, cache_dir=cache).results[0]
+        return cache, spec, reference
+
+    def test_truncated_entry_recomputed(self, warm_cache):
+        cache, spec, reference = warm_cache
+        path = self._entry_path(cache, spec)
+        with open(path, encoding="utf-8") as handle:
+            payload = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload[: len(payload) // 2])
+        self._assert_recomputed(cache, spec, reference)
+
+    def test_empty_entry_recomputed(self, warm_cache):
+        cache, spec, reference = warm_cache
+        open(self._entry_path(cache, spec), "w").close()
+        self._assert_recomputed(cache, spec, reference)
+
+    def test_wrong_schema_entry_recomputed(self, warm_cache):
+        # Valid JSON, but not a result payload (missing spec/metrics).
+        cache, spec, reference = warm_cache
+        with open(
+            self._entry_path(cache, spec), "w", encoding="utf-8"
+        ) as handle:
+            json.dump({"unexpected": True}, handle)
+        self._assert_recomputed(cache, spec, reference)
+
+    def test_non_object_entry_recomputed(self, warm_cache):
+        # A JSON array used to raise TypeError straight through the
+        # cache probe; now it is just another miss.
+        cache, spec, reference = warm_cache
+        with open(
+            self._entry_path(cache, spec), "w", encoding="utf-8"
+        ) as handle:
+            json.dump([1, 2, 3], handle)
+        self._assert_recomputed(cache, spec, reference)
+
+    def test_wrong_cache_version_entry_not_served(self, warm_cache):
+        # An entry written under another CACHE_VERSION must be
+        # invisible: recomputed as a miss, not served as current.
+        cache, spec, reference = warm_cache
+        from repro.scenarios.runner import CACHE_VERSION
+
+        current = self._entry_path(cache, spec)
+        stale = current.replace(
+            f".{CACHE_VERSION}.json", ".v0-ancient.json"
+        )
+        os.rename(current, stale)
+        with open(stale, "r+", encoding="utf-8") as handle:
+            payload = json.load(handle)
+            payload["metrics"] = {"update_counts": {"poisoned": True}}
+            handle.seek(0)
+            json.dump(payload, handle)
+            handle.truncate()
+        report = run_sweep([spec], workers=1, cache_dir=cache)
+        assert report.cache_misses == 1
+        assert report.results[0].metrics == reference.metrics
+        assert "poisoned" not in json.dumps(report.results[0].metrics)
+
+
 class TestRunnerArguments:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError, match="workers"):
