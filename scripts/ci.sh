@@ -73,6 +73,17 @@ python benchmarks/bench_pipeline.py --quick --min-throughput-ratio 0.5 \
     --output "$CACHE_DIR/BENCH_pipeline.json"
 
 echo
+echo "== smoke: read-path benchmark (verify + baseline floor) =="
+# Every bench_analysis run decodes the archive twice — memo caches on
+# and off — and requires bit-identical fingerprints and classification
+# counts.  The floor asserts decode+classify is no worse than the
+# recorded pre-overhaul baseline (the overhauled path runs at ~4x, so
+# 1.0 leaves plenty of headroom for shared-box noise).
+python benchmarks/bench_analysis.py --quick --min-throughput-ratio 1.0 \
+    --baseline BENCH_analysis.json \
+    --output "$CACHE_DIR/BENCH_analysis.json"
+
+echo
 echo "== smoke: mrt-replay of a spilled archive =="
 # Run the spilling scenario through the real CLI, pull the spill path
 # out of the JSON result, and replay it through the same pipeline.

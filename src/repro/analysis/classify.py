@@ -81,13 +81,23 @@ def compare_announcements(
     path: Optional[ASPath],
     communities: CommunitySet,
 ) -> AnnouncementType:
-    """Classify one announcement against its predecessor's state."""
+    """Classify one announcement against its predecessor's state.
+
+    Identity is checked before equality throughout: the decode memo
+    interns repeated AS_PATH/COMMUNITIES byte strings to the same
+    objects, so on real feeds the dominant duplicate case resolves with
+    pointer comparisons (``a is b`` implies ``a == b`` for these
+    immutable values).
+    """
     current_path = path if path is not None else ASPath.empty()
     prior_path = (
         previous_path if previous_path is not None else ASPath.empty()
     )
-    community_changed = communities != previous_communities
-    if current_path == prior_path:
+    community_changed = (
+        communities is not previous_communities
+        and communities != previous_communities
+    )
+    if current_path is prior_path or current_path == prior_path:
         return (
             AnnouncementType.NC if community_changed else AnnouncementType.NN
         )
@@ -204,30 +214,36 @@ class UpdateClassifier:
         return seeded
 
     def observe(
-        self, observation: Observation
+        self, observation: Observation, key: "Optional[tuple]" = None
     ) -> Optional[AnnouncementType]:
         """Process one observation; returns the type for announcements.
 
         Withdrawals return None (they are counted but not typed —
-        the paper's taxonomy covers announcements only).
+        the paper's taxonomy covers announcements only).  Callers that
+        already computed the (session, prefix) stream key may pass it
+        to avoid recomputing it (the duplicate attributor does).
         """
         if observation.is_withdrawal:
             self.counts.withdrawals += 1
             return None
-        key = observation.stream_key()
+        if key is None:
+            key = observation.stream_key()
+        path = observation.as_path
+        communities = observation.communities
         previous = self._last_state.get(key)
-        self._last_state[key] = (
-            observation.as_path,
-            observation.communities,
-        )
+        self._last_state[key] = (path, communities)
         if previous is None:
             self.counts.unclassified_first += 1
             return None
-        announcement_type = compare_announcements(
-            previous[0], previous[1],
-            observation.as_path, observation.communities,
-        )
-        self.counts.add(announcement_type)
+        if previous[0] is path and previous[1] is communities:
+            # O(1) fast path: the interned decode objects are the very
+            # ones stored last time, so this is an exact duplicate.
+            announcement_type = AnnouncementType.NN
+        else:
+            announcement_type = compare_announcements(
+                previous[0], previous[1], path, communities
+            )
+        self.counts.counts[announcement_type] += 1
         return announcement_type
 
     def observe_all(

@@ -19,11 +19,15 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Protocol
 
 from repro.analysis.observations import Observation
-from repro.netbase.asn import ASN
+from repro.netbase.asn import AS_TRANS, ASN
+from repro.netbase.memo import bounded_store
 from repro.netbase.prefix import Prefix
 
 #: The paper's disambiguation step: 0.01 ms.
 SAME_SECOND_STEP = 0.00001
+
+#: Bound for the per-pipeline AS-path memo (cleared wholesale).
+_PATH_MEMO_LIMIT = 65536
 
 
 class AllocationOracle(Protocol):
@@ -102,6 +106,14 @@ class CleaningPipeline:
         self._repair_route_servers = repair_route_server_paths
         self._disambiguate = disambiguate_same_second
         self._step = same_second_step
+        # Hot-path memos.  The oracle fast path only fires for the
+        # exact no-registry class (a subclass may override per-time
+        # behavior); the AS-path memo keys on the interned path objects
+        # the decode layer hands us, so the reserved/involved scan runs
+        # once per distinct path instead of once per observation.
+        self._oracle_accepts_all = type(self._oracle) is AcceptEverything
+        self._path_info: dict = {}  # ASPath -> (distinct asns, flagged)
+        self._peer_info: dict = {}  # int -> (ASN, flagged)
 
     def run(
         self, observations: Iterable[Observation]
@@ -158,34 +170,54 @@ class CleaningPipeline:
         ):
             report.dropped_long_prefix += 1
             return None
-        if not self._oracle.prefix_allocated(observation.prefix, when):
+        if not self._oracle_accepts_all and not self._oracle.prefix_allocated(
+            observation.prefix, when
+        ):
             report.dropped_unallocated_prefix += 1
             return None
-        path_asns = (
-            observation.as_path.asns()
-            if observation.as_path is not None
-            else ()
-        )
-        involved = set(path_asns)
-        involved.add(ASN(observation.session.peer_asn))
-        if self._drop_reserved and any(
-            asn.is_reserved or asn == 23456 for asn in involved
-        ):
+        as_path = observation.as_path
+        if as_path is not None:
+            path_info = self._path_info.get(as_path)
+            if path_info is None:
+                distinct = frozenset(as_path.asns())
+                flagged = any(
+                    asn.is_reserved or asn == AS_TRANS for asn in distinct
+                )
+                path_info = bounded_store(
+                    self._path_info, as_path, (distinct, flagged),
+                    _PATH_MEMO_LIMIT,
+                )
+            path_asns, path_flagged = path_info
+        else:
+            path_asns, path_flagged = (), False
+        peer_info = self._peer_info.get(observation.session.peer_asn)
+        if peer_info is None:
+            peer = ASN(observation.session.peer_asn)
+            peer_info = bounded_store(
+                self._peer_info,
+                int(peer),
+                (peer, bool(peer.is_reserved or peer == AS_TRANS)),
+                _PATH_MEMO_LIMIT,
+            )
+        peer, peer_flagged = peer_info
+        if self._drop_reserved and (path_flagged or peer_flagged):
             report.dropped_reserved_asn += 1
             return None
-        if any(
-            not self._oracle.asn_allocated(int(asn), when)
-            for asn in involved
+        if not self._oracle_accepts_all and (
+            not self._oracle.asn_allocated(int(peer), when)
+            or any(
+                not self._oracle.asn_allocated(int(asn), when)
+                for asn in path_asns
+            )
         ):
             report.dropped_unallocated_asn += 1
             return None
         if (
             self._repair_route_servers
             and observation.is_announcement
-            and observation.as_path is not None
-            and not observation.as_path.is_empty()
+            and as_path is not None
+            and not as_path.is_empty()
         ):
-            peer = ASN(observation.session.peer_asn)
             if observation.as_path.first_asn != peer:
                 report.repaired_route_server_paths += 1
                 report.route_server_peers.add(observation.session)

@@ -98,7 +98,7 @@ class DuplicateAttributor:
         key = observation.stream_key()
         if observation.is_announcement and observation.communities:
             self._stream_has_communities[key] = True
-        announcement_type = self._classifier.observe(observation)
+        announcement_type = self._classifier.observe(observation, key)
         if observation.is_withdrawal:
             self._last_withdrawal[key] = observation.timestamp
             return None

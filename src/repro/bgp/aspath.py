@@ -97,7 +97,9 @@ class ASPath:
     True
     """
 
-    __slots__ = ("_segments", "_flat", "_length", "_prepends")
+    __slots__ = (
+        "_segments", "_flat", "_length", "_prepends", "_hash", "_collapsed"
+    )
 
     def __init__(self, segments: Iterable[PathSegment] = ()):
         self._segments = tuple(segments)
@@ -106,10 +108,15 @@ class ASPath:
                 raise AttributeError_(f"not a PathSegment: {segment!r}")
         # Lazy caches: paths are immutable, and the simulator asks for
         # the same flattened view / decision length / per-ASN prepend
-        # millions of times on a big run.
+        # millions of times on a big run.  The hash and the
+        # prepend-collapsed variant are cached too: decode interning
+        # makes one ASPath object key memo dicts and feed the
+        # classifier's prepend test for millions of records.
         self._flat: "tuple | None" = None
         self._length: "int | None" = None
         self._prepends: "dict | None" = None
+        self._hash: "int | None" = None
+        self._collapsed: "ASPath | None" = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -245,8 +252,11 @@ class ASPath:
 
     def without_prepending(self) -> "ASPath":
         """Return the path with consecutive duplicate ASNs collapsed."""
+        if self._collapsed is not None:
+            return self._collapsed
         collapsed = self.distinct_ases()
         if not collapsed:
+            self._collapsed = _EMPTY
             return _EMPTY
         # Preserve set segments; only sequences can legitimately prepend.
         segments = []
@@ -261,11 +271,13 @@ class ASPath:
                         deduped.append(asn)
                     previous = asn
                 segments.append(PathSegment(segment.kind, deduped))
-        return ASPath(segments)
+        derived = ASPath(segments)
+        self._collapsed = derived
+        return derived
 
     def is_prepend_variant_of(self, other: "ASPath") -> bool:
         """True when the two paths differ only in prepending."""
-        if self == other:
+        if self is other or self == other:
             return False
         return self.without_prepending() == other.without_prepending()
 
@@ -283,7 +295,9 @@ class ASPath:
         return self._segments == other._segments
 
     def __hash__(self) -> int:
-        return hash(self._segments)
+        if self._hash is None:
+            self._hash = hash(self._segments)
+        return self._hash
 
     def __iter__(self) -> Iterator[PathSegment]:
         return iter(self._segments)

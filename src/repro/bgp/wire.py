@@ -43,11 +43,91 @@ from repro.bgp.message import (
     UpdateMessage,
 )
 from repro.netbase.asn import ASN
+from repro.netbase.memo import bounded_store
 from repro.netbase.prefix import Prefix
 
 _CAP_MP = 1
 _CAP_FOUR_OCTET_ASN = 65
 _AS_TRANS = 23456
+
+# Precompiled structs for the decode hot path: a month of RouteViews
+# archives runs hundreds of millions of messages through these.
+_LEN_TYPE = struct.Struct("!HB")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_HBB = struct.Struct("!HBB")
+_AFI_SAFI = struct.Struct("!HB")
+
+_TYPE_UPDATE = int(MessageType.UPDATE)
+_TYPE_OPEN = int(MessageType.OPEN)
+_TYPE_KEEPALIVE = int(MessageType.KEEPALIVE)
+_TYPE_NOTIFICATION = int(MessageType.NOTIFICATION)
+_TYPE_ROUTE_REFRESH = int(MessageType.ROUTE_REFRESH)
+
+_ORIGIN_BY_CODE = {int(code): code for code in OriginCode}
+
+# ----------------------------------------------------------------------
+# decode memo caches
+# ----------------------------------------------------------------------
+# Real archives are massively repetitive: the same AS_PATH and
+# COMMUNITIES byte strings recur across millions of records, and whole
+# path-attribute blocks repeat verbatim (duplicate announcements are
+# the paper's subject!).  Decoding each distinct byte string once and
+# returning the *same* interned object thereafter both skips the parse
+# and enables identity fast paths downstream (``a is b`` implies
+# ``a == b`` for these immutable value objects).  All caches are
+# bounded — cleared wholesale when full, like the MRT writer's message
+# cache — and can be disabled as one unit for the benchmark's
+# fast-vs-naive verification.
+_MEMO_LIMIT = 16384
+_ATTR_BLOCK_MEMO: dict = {}  # raw attr block -> (attrs, reach, unreach)
+_AS_PATH_MEMO: dict = {}  # raw AS_PATH value -> ASPath
+_COMMUNITY_SET_MEMO: dict = {}  # raw COMMUNITIES value -> CommunitySet
+_LARGE_SET_MEMO: dict = {}  # raw LARGE_COMMUNITIES value -> frozenset
+_ADDR4_MEMO: dict = {}  # packed IPv4 -> text (NEXT_HOP et al.)
+_memo_enabled = True
+
+
+def set_decode_memo(enabled: bool) -> bool:
+    """Enable/disable (and clear) the attribute-decode memo caches.
+
+    Returns the previous setting.  The benchmark's verify mode decodes
+    every archive twice — memo on and off — and asserts bit-identical
+    results, proving the caches are a pure optimization.
+    """
+    global _memo_enabled
+    previous = _memo_enabled
+    _memo_enabled = bool(enabled)
+    for cache in (
+        _ATTR_BLOCK_MEMO,
+        _AS_PATH_MEMO,
+        _COMMUNITY_SET_MEMO,
+        _LARGE_SET_MEMO,
+        _ADDR4_MEMO,
+    ):
+        cache.clear()
+    return previous
+
+
+def decode_memo_sizes() -> "dict[str, int]":
+    """Entry counts of every decode memo (for bound tests)."""
+    return {
+        "attr_block": len(_ATTR_BLOCK_MEMO),
+        "as_path": len(_AS_PATH_MEMO),
+        "community_set": len(_COMMUNITY_SET_MEMO),
+        "large_set": len(_LARGE_SET_MEMO),
+        "addr4": len(_ADDR4_MEMO),
+    }
+
+
+def _ipv4_text(packed: bytes) -> str:
+    cached = _ADDR4_MEMO.get(packed)
+    if cached is not None:
+        return cached
+    text = str(ipaddress.IPv4Address(packed))
+    if _memo_enabled:
+        bounded_store(_ADDR4_MEMO, packed, text, _MEMO_LIMIT)
+    return text
 
 
 # ----------------------------------------------------------------------
@@ -88,38 +168,40 @@ def decode_message(data: bytes) -> BGPMessage:
     return message
 
 
-def decode_message_from(data: bytes) -> "tuple[BGPMessage, int]":
-    """Parse one message from the front of *data*; return (msg, consumed)."""
+def decode_message_from(data) -> "tuple[BGPMessage, int]":
+    """Parse one message from the front of *data*; return (msg, consumed).
+
+    *data* may be any bytes-like object; the MRT reader hands in
+    zero-copy :class:`memoryview` slices of its read buffer.
+    """
     if len(data) < HEADER_LENGTH:
         raise WireFormatError("truncated BGP header")
-    marker, length, kind = data[:16], *struct.unpack("!HB", data[16:19])
-    if marker != MARKER:
+    if data[:16] != MARKER:
         raise WireFormatError("bad BGP marker")
+    length, kind = _LEN_TYPE.unpack_from(data, 16)
     if not HEADER_LENGTH <= length <= MAX_MESSAGE_LENGTH:
         raise WireFormatError(f"bad message length: {length}")
     if len(data) < length:
         raise WireFormatError("truncated BGP message body")
     body = data[HEADER_LENGTH:length]
-    try:
-        message_type = MessageType(kind)
-    except ValueError as exc:
-        raise WireFormatError(f"unknown message type: {kind}") from exc
-    if message_type == MessageType.OPEN:
-        return _decode_open(body), length
-    if message_type == MessageType.UPDATE:
+    if kind == _TYPE_UPDATE:
         return _decode_update(body), length
-    if message_type == MessageType.KEEPALIVE:
-        if body:
+    if kind == _TYPE_KEEPALIVE:
+        if len(body):
             raise WireFormatError("KEEPALIVE with a body")
         return KeepaliveMessage(), length
-    if message_type == MessageType.ROUTE_REFRESH:
+    if kind == _TYPE_OPEN:
+        return _decode_open(body), length
+    if kind == _TYPE_ROUTE_REFRESH:
         if len(body) != 4:
             raise WireFormatError("bad ROUTE-REFRESH length")
-        afi, _reserved, safi = struct.unpack("!HBB", body)
+        afi, _reserved, safi = _HBB.unpack(body)
         return RouteRefreshMessage(afi, safi), length
-    if len(body) < 2:
-        raise WireFormatError("truncated NOTIFICATION")
-    return NotificationMessage(body[0], body[1], body[2:]), length
+    if kind == _TYPE_NOTIFICATION:
+        if len(body) < 2:
+            raise WireFormatError("truncated NOTIFICATION")
+        return NotificationMessage(body[0], body[1], bytes(body[2:])), length
+    raise WireFormatError(f"unknown message type: {kind}")
 
 
 def iter_messages(data: bytes) -> Iterator[BGPMessage]:
@@ -227,41 +309,37 @@ def _encode_update(message: UpdateMessage) -> bytes:
     )
 
 
-def _decode_update(body: bytes) -> UpdateMessage:
+def _decode_update(body) -> UpdateMessage:
     if len(body) < 4:
         raise WireFormatError("truncated UPDATE")
-    withdrawn_length = struct.unpack("!H", body[:2])[0]
-    offset = 2
-    withdrawn_end = offset + withdrawn_length
+    withdrawn_length = _U16.unpack_from(body, 0)[0]
+    withdrawn_end = 2 + withdrawn_length
     if withdrawn_end + 2 > len(body):
         raise WireFormatError("truncated UPDATE withdrawn routes")
-    withdrawn = list(_decode_nlri_block(body[offset:withdrawn_end], 4))
-    offset = withdrawn_end
-    attr_length = struct.unpack("!H", body[offset : offset + 2])[0]
-    offset += 2
-    attr_end = offset + attr_length
+    withdrawn = list(_decode_nlri_block(body[2:withdrawn_end], 4))
+    offset = withdrawn_end + 2
+    attr_end = offset + _U16.unpack_from(body, withdrawn_end)[0]
     if attr_end > len(body):
         raise WireFormatError("truncated UPDATE attributes")
-    fields, reach_v6, unreach_v6, mp_next_hop = _decode_attributes(
+    attributes, reach_v6, unreach_v6 = _decode_attribute_block(
         body[offset:attr_end]
     )
     announced = list(_decode_nlri_block(body[attr_end:], 4))
     announced.extend(reach_v6)
     withdrawn.extend(unreach_v6)
-    attributes = None
-    if announced:
-        if mp_next_hop is not None and fields.get("next_hop") is None:
-            fields["next_hop"] = mp_next_hop
-        attributes = PathAttributes(**fields)
+    if not announced:
+        attributes = None
     return UpdateMessage(
         announced=announced, withdrawn=withdrawn, attributes=attributes
     )
 
 
-def _decode_nlri_block(data: bytes, version: int) -> Iterator[Prefix]:
+def _decode_nlri_block(data, version: int) -> Iterator[Prefix]:
     offset = 0
-    while offset < len(data):
-        prefix, consumed = Prefix.from_nlri(data[offset:], version)
+    end = len(data)
+    from_nlri = Prefix.from_nlri
+    while offset < end:
+        prefix, consumed = from_nlri(data[offset:], version)
         yield prefix
         offset += consumed
 
@@ -342,123 +420,220 @@ def _encode_attributes(attributes: PathAttributes) -> bytes:
     return bytes(out)
 
 
-def _decode_attributes(data: bytes):
-    """Decode the attribute block.
+def _decode_attribute_block(data):
+    """Decode one whole attribute block, memoized on its raw bytes.
+
+    Returns ``(attributes, reach_v6, unreach_v6)`` where *attributes*
+    is a ready :class:`PathAttributes` (MP next-hop already folded in
+    when the block carried no classic NEXT_HOP).  Identical byte blocks
+    return the identical interned objects, so the per-stream
+    classifiers downstream resolve the common duplicate case with one
+    ``is`` check.
+    """
+    raw = bytes(data)
+    if _memo_enabled:
+        cached = _ATTR_BLOCK_MEMO.get(raw)
+        if cached is not None:
+            return cached
+    fields, reach_v6, unreach_v6, mp_next_hop = _parse_attributes(raw)
+    if mp_next_hop is not None and fields.get("next_hop") is None:
+        fields["next_hop"] = mp_next_hop
+    result = (PathAttributes(**fields), tuple(reach_v6), tuple(unreach_v6))
+    if _memo_enabled:
+        bounded_store(_ATTR_BLOCK_MEMO, raw, result, _MEMO_LIMIT)
+    return result
+
+
+def _decode_attributes(data):
+    """Decode the attribute block (compatibility entry point).
 
     Returns ``(fields, reach_v6, unreach_v6, mp_next_hop)`` where
-    *fields* are :class:`PathAttributes` constructor kwargs.
+    *fields* are :class:`PathAttributes` constructor kwargs.  The
+    UPDATE hot path uses :func:`_decode_attribute_block` instead; this
+    form remains for callers that assemble attributes themselves
+    (TABLE_DUMP_V2 RIB entries).
     """
+    return _parse_attributes(bytes(data))
+
+
+def _parse_attributes(data: bytes):
     fields: dict = {}
     extra: list = []
     reach_v6: list = []
     unreach_v6: list = []
-    mp_next_hop = None
+    decoders = _ATTR_DECODERS
     offset = 0
-    while offset < len(data):
-        if offset + 3 > len(data):
+    end = len(data)
+    while offset < end:
+        if offset + 3 > end:
             raise WireFormatError("truncated attribute header")
         flags = data[offset]
         type_code = data[offset + 1]
-        if flags & AttrFlag.EXTENDED_LENGTH:
-            if offset + 4 > len(data):
+        if flags & 0x10:  # AttrFlag.EXTENDED_LENGTH
+            if offset + 4 > end:
                 raise WireFormatError("truncated extended attribute header")
-            length = struct.unpack("!H", data[offset + 2 : offset + 4])[0]
+            length = _U16.unpack_from(data, offset + 2)[0]
             value_start = offset + 4
         else:
             length = data[offset + 2]
             value_start = offset + 3
-        value = data[value_start : value_start + length]
-        if len(value) != length:
-            raise WireFormatError("truncated attribute value")
         offset = value_start + length
-        _decode_one_attribute(
-            type_code, value, fields, extra, reach_v6, unreach_v6
-        )
-    mp_next_hop = fields.pop("_mp_next_hop", mp_next_hop)
+        if offset > end:
+            raise WireFormatError("truncated attribute value")
+        value = data[value_start:offset]
+        decoder = decoders.get(type_code)
+        if decoder is not None:
+            decoder(value, fields, reach_v6, unreach_v6)
+        else:
+            extra.append((type_code, value))
+    mp_next_hop = fields.pop("_mp_next_hop", None)
     if extra:
         fields["extra"] = tuple(extra)
     return fields, reach_v6, unreach_v6, mp_next_hop
 
 
-def _decode_one_attribute(
-    type_code, value, fields, extra, reach_v6, unreach_v6
-):
-    if type_code == AttrType.ORIGIN:
-        if len(value) != 1:
-            raise WireFormatError("bad ORIGIN length")
-        fields["origin"] = OriginCode(value[0])
-    elif type_code == AttrType.AS_PATH:
-        fields["as_path"] = _decode_as_path(value)
-    elif type_code == AttrType.NEXT_HOP:
-        if len(value) != 4:
-            raise WireFormatError("bad NEXT_HOP length")
-        fields["next_hop"] = str(ipaddress.IPv4Address(value))
-    elif type_code == AttrType.MULTI_EXIT_DISC:
-        if len(value) != 4:
-            raise WireFormatError("bad MED length")
-        fields["med"] = struct.unpack("!I", value)[0]
-    elif type_code == AttrType.LOCAL_PREF:
-        if len(value) != 4:
-            raise WireFormatError("bad LOCAL_PREF length")
-        fields["local_pref"] = struct.unpack("!I", value)[0]
-    elif type_code == AttrType.ATOMIC_AGGREGATE:
-        fields["atomic_aggregate"] = True
-    elif type_code == AttrType.AGGREGATOR:
-        if len(value) == 8:
-            asn = struct.unpack("!I", value[:4])[0]
-            router = str(ipaddress.IPv4Address(value[4:]))
-        elif len(value) == 6:
-            asn = struct.unpack("!H", value[:2])[0]
-            router = str(ipaddress.IPv4Address(value[2:]))
-        else:
-            raise WireFormatError("bad AGGREGATOR length")
-        fields["aggregator"] = (ASN(asn), router)
-    elif type_code == AttrType.COMMUNITIES:
+# Per-attribute decoders, dispatched from a flat table instead of an
+# if/elif chain.  Each takes (value bytes, fields, reach_v6, unreach_v6)
+# and fills in the PathAttributes constructor kwargs.
+def _dec_origin(value, fields, reach_v6, unreach_v6):
+    if len(value) != 1:
+        raise WireFormatError("bad ORIGIN length")
+    try:
+        fields["origin"] = _ORIGIN_BY_CODE[value[0]]
+    except KeyError:
+        raise WireFormatError(f"invalid ORIGIN code: {value[0]}") from None
+
+
+def _dec_as_path(value, fields, reach_v6, unreach_v6):
+    path = _AS_PATH_MEMO.get(value)
+    if path is None:
+        path = _decode_as_path(value)
+        if _memo_enabled:
+            bounded_store(_AS_PATH_MEMO, value, path, _MEMO_LIMIT)
+    fields["as_path"] = path
+
+
+def _dec_next_hop(value, fields, reach_v6, unreach_v6):
+    if len(value) != 4:
+        raise WireFormatError("bad NEXT_HOP length")
+    fields["next_hop"] = _ipv4_text(value)
+
+
+def _dec_med(value, fields, reach_v6, unreach_v6):
+    if len(value) != 4:
+        raise WireFormatError("bad MED length")
+    fields["med"] = _U32.unpack(value)[0]
+
+
+def _dec_local_pref(value, fields, reach_v6, unreach_v6):
+    if len(value) != 4:
+        raise WireFormatError("bad LOCAL_PREF length")
+    fields["local_pref"] = _U32.unpack(value)[0]
+
+
+def _dec_atomic_aggregate(value, fields, reach_v6, unreach_v6):
+    fields["atomic_aggregate"] = True
+
+
+def _dec_aggregator(value, fields, reach_v6, unreach_v6):
+    if len(value) == 8:
+        asn = _U32.unpack(value[:4])[0]
+        router = _ipv4_text(value[4:])
+    elif len(value) == 6:
+        asn = _U16.unpack(value[:2])[0]
+        router = _ipv4_text(value[2:])
+    else:
+        raise WireFormatError("bad AGGREGATOR length")
+    fields["aggregator"] = (ASN(asn), router)
+
+
+def _dec_communities(value, fields, reach_v6, unreach_v6):
+    community_set = _COMMUNITY_SET_MEMO.get(value)
+    if community_set is None:
         if len(value) % 4:
             raise WireFormatError("bad COMMUNITIES length")
-        classic = [
+        community_set = CommunitySet(
             Community.from_bytes(value[i : i + 4])
             for i in range(0, len(value), 4)
-        ]
-        existing = fields.get("communities", CommunitySet.empty())
-        fields["communities"] = CommunitySet(classic, existing.large)
-    elif type_code == AttrType.LARGE_COMMUNITIES:
+        )
+        if _memo_enabled:
+            bounded_store(_COMMUNITY_SET_MEMO, value, community_set, _MEMO_LIMIT)
+    existing = fields.get("communities")
+    if existing is None or not existing.large:
+        fields["communities"] = community_set
+    else:
+        fields["communities"] = CommunitySet(
+            community_set.classic, existing.large
+        )
+
+
+def _dec_large_communities(value, fields, reach_v6, unreach_v6):
+    large = _LARGE_SET_MEMO.get(value)
+    if large is None:
         if len(value) % 12:
             raise WireFormatError("bad LARGE_COMMUNITIES length")
-        large = [
+        large = frozenset(
             LargeCommunity.from_bytes(value[i : i + 12])
             for i in range(0, len(value), 12)
-        ]
-        existing = fields.get("communities", CommunitySet.empty())
-        fields["communities"] = CommunitySet(existing.classic, large)
-    elif type_code == AttrType.ORIGINATOR_ID:
-        if len(value) != 4:
-            raise WireFormatError("bad ORIGINATOR_ID length")
-        fields["originator_id"] = str(ipaddress.IPv4Address(value))
-    elif type_code == AttrType.CLUSTER_LIST:
-        if len(value) % 4:
-            raise WireFormatError("bad CLUSTER_LIST length")
-        fields["cluster_list"] = tuple(
-            str(ipaddress.IPv4Address(value[i : i + 4]))
-            for i in range(0, len(value), 4)
         )
-    elif type_code == AttrType.MP_REACH_NLRI:
-        afi, safi = struct.unpack("!HB", value[:3])
-        next_hop_length = value[3]
-        next_hop_bytes = value[4 : 4 + next_hop_length]
-        nlri_offset = 4 + next_hop_length + 1  # +1 reserved octet
-        if afi == Afi.IPV6 and safi == Safi.UNICAST:
-            if next_hop_length >= 16:
-                fields["_mp_next_hop"] = str(
-                    ipaddress.IPv6Address(next_hop_bytes[:16])
-                )
-            reach_v6.extend(_decode_nlri_block(value[nlri_offset:], 6))
-    elif type_code == AttrType.MP_UNREACH_NLRI:
-        afi, safi = struct.unpack("!HB", value[:3])
-        if afi == Afi.IPV6 and safi == Safi.UNICAST:
-            unreach_v6.extend(_decode_nlri_block(value[3:], 6))
-    else:
-        extra.append((type_code, bytes(value)))
+        if _memo_enabled:
+            bounded_store(_LARGE_SET_MEMO, value, large, _MEMO_LIMIT)
+    existing = fields.get("communities")
+    classic = existing.classic if existing is not None else ()
+    fields["communities"] = CommunitySet(classic, large)
+
+
+def _dec_originator_id(value, fields, reach_v6, unreach_v6):
+    if len(value) != 4:
+        raise WireFormatError("bad ORIGINATOR_ID length")
+    fields["originator_id"] = _ipv4_text(value)
+
+
+def _dec_cluster_list(value, fields, reach_v6, unreach_v6):
+    if len(value) % 4:
+        raise WireFormatError("bad CLUSTER_LIST length")
+    fields["cluster_list"] = tuple(
+        _ipv4_text(value[i : i + 4]) for i in range(0, len(value), 4)
+    )
+
+
+def _dec_mp_reach(value, fields, reach_v6, unreach_v6):
+    if len(value) < 5:  # afi + safi + next-hop length + reserved octet
+        raise WireFormatError("truncated MP_REACH_NLRI")
+    afi, safi = _AFI_SAFI.unpack(value[:3])
+    next_hop_length = value[3]
+    nlri_offset = 4 + next_hop_length + 1  # +1 reserved octet
+    if afi == Afi.IPV6 and safi == Safi.UNICAST:
+        if next_hop_length >= 16:
+            fields["_mp_next_hop"] = str(
+                ipaddress.IPv6Address(value[4:20])
+            )
+        reach_v6.extend(_decode_nlri_block(value[nlri_offset:], 6))
+
+
+def _dec_mp_unreach(value, fields, reach_v6, unreach_v6):
+    if len(value) < 3:
+        raise WireFormatError("truncated MP_UNREACH_NLRI")
+    afi, safi = _AFI_SAFI.unpack(value[:3])
+    if afi == Afi.IPV6 and safi == Safi.UNICAST:
+        unreach_v6.extend(_decode_nlri_block(value[3:], 6))
+
+
+_ATTR_DECODERS = {
+    int(AttrType.ORIGIN): _dec_origin,
+    int(AttrType.AS_PATH): _dec_as_path,
+    int(AttrType.NEXT_HOP): _dec_next_hop,
+    int(AttrType.MULTI_EXIT_DISC): _dec_med,
+    int(AttrType.LOCAL_PREF): _dec_local_pref,
+    int(AttrType.ATOMIC_AGGREGATE): _dec_atomic_aggregate,
+    int(AttrType.AGGREGATOR): _dec_aggregator,
+    int(AttrType.COMMUNITIES): _dec_communities,
+    int(AttrType.LARGE_COMMUNITIES): _dec_large_communities,
+    int(AttrType.ORIGINATOR_ID): _dec_originator_id,
+    int(AttrType.CLUSTER_LIST): _dec_cluster_list,
+    int(AttrType.MP_REACH_NLRI): _dec_mp_reach,
+    int(AttrType.MP_UNREACH_NLRI): _dec_mp_unreach,
+}
 
 
 def _encode_as_path(path: ASPath) -> bytes:

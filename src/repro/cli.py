@@ -352,6 +352,13 @@ def _scenario_run(arguments) -> int:
         f" seed={spec.seed} hash={result.spec_hash}"
     )
     _print_scenario_metrics(result)
+    stats = result.reader_stats
+    if stats:
+        print(
+            f"\nmrt reader: {stats.get('records', 0)} records decoded,"
+            f" {stats.get('skipped_records', 0)} skipped (unmodeled"
+            f" type), {stats.get('error_records', 0)} damaged-dropped"
+        )
     for name, path in sorted(result.spill_paths.items()):
         print(f"\nspilled archive [{name}]: {path}")
     return 0

@@ -6,6 +6,16 @@ interleave state changes and table dumps with updates), malformed
 records raise :class:`~repro.mrt.records.MRTError` unless the reader is
 constructed with ``tolerant=True`` — real collector archives do contain
 occasional damage, and the paper's pipeline drops rather than crashes.
+
+The reader is the front of the analysis hot path (a month of
+RouteViews archives is hundreds of millions of records), so it reads
+the stream in large chunks and decodes records through zero-copy
+:class:`memoryview` slices of its buffer instead of issuing one
+``stream.read`` per field.  Records of unmodeled types are *skipped*
+without ever materializing their bodies, and the per-session MRT
+envelope (ASNs + packed addresses) is memoized on its raw bytes — an
+archive carries only a handful of distinct sessions but repeats the
+envelope on every record.
 """
 
 from __future__ import annotations
@@ -17,14 +27,31 @@ from repro.bgp.errors import WireFormatError
 from repro.bgp.message import UpdateMessage
 from repro.bgp.wire import decode_message_from
 from repro.mrt.records import (
+    HEADER_STRUCT,
+    MICROSECONDS_STRUCT,
     Bgp4mpMessage,
     Bgp4mpSubtype,
     MRTError,
     MRTType,
     unpack_address,
 )
+from repro.netbase.asn import ASN
+from repro.netbase.memo import bounded_store
 
 _HEADER_SIZE = 12
+_CHUNK_SIZE = 1 << 16  # 64 KiB read granularity
+
+_AS4_ENVELOPE = struct.Struct("!IIHH")
+_AS2_ENVELOPE = struct.Struct("!HHHH")
+
+_BGP4MP = int(MRTType.BGP4MP)
+_BGP4MP_ET = int(MRTType.BGP4MP_ET)
+_MESSAGE = int(Bgp4mpSubtype.MESSAGE)
+_MESSAGE_AS4 = int(Bgp4mpSubtype.MESSAGE_AS4)
+
+#: Per-reader envelope memo bound (a damaged archive could otherwise
+#: grow it without limit; genuine archives have few sessions).
+_ENVELOPE_MEMO_LIMIT = 4096
 
 
 class MRTReader:
@@ -39,6 +66,11 @@ class MRTReader:
         self._tolerant = bool(tolerant)
         self._skipped = 0
         self._errors = 0
+        self._buffer = b""
+        self._pos = 0
+        self._stream_eof = False
+        # Raw envelope bytes -> (peer_asn, local_asn, peer, local, size).
+        self._envelopes: dict = {}
 
     @property
     def skipped_records(self) -> int:
@@ -58,63 +90,109 @@ class MRTReader:
             if record is not None:
                 yield record
 
+    # ------------------------------------------------------------------
+    # buffered input
+    # ------------------------------------------------------------------
+    def _fill(self, needed: int) -> bool:
+        """Ensure *needed* bytes are buffered past the read position."""
+        while len(self._buffer) - self._pos < needed:
+            if self._stream_eof:
+                return False
+            chunk = self._stream.read(max(_CHUNK_SIZE, needed))
+            if not chunk:
+                self._stream_eof = True
+                return False
+            if self._pos:
+                self._buffer = self._buffer[self._pos :] + chunk
+                self._pos = 0
+            else:
+                self._buffer += chunk
+        return True
+
+    def _skip(self, count: int) -> bool:
+        """Advance past *count* bytes without materializing them."""
+        available = len(self._buffer) - self._pos
+        if available >= count:
+            self._pos += count
+            return True
+        count -= available
+        self._buffer = b""
+        self._pos = 0
+        while count > 0:
+            chunk = self._stream.read(min(count, _CHUNK_SIZE))
+            if not chunk:
+                self._stream_eof = True
+                return False
+            count -= len(chunk)
+        return True
+
+    # ------------------------------------------------------------------
+    # record decode
+    # ------------------------------------------------------------------
     def _read_one(self):
-        header_bytes = self._stream.read(_HEADER_SIZE)
-        if not header_bytes:
-            return _EOF
-        if len(header_bytes) < _HEADER_SIZE:
+        if not self._fill(_HEADER_SIZE):
+            if len(self._buffer) == self._pos:
+                return _EOF
+            self._pos = len(self._buffer)
             return self._damaged("truncated MRT header at end of stream")
-        timestamp, mrt_type, subtype, length = struct.unpack(
-            "!IHHI", header_bytes
+        pos = self._pos
+        timestamp, mrt_type, subtype, length = HEADER_STRUCT.unpack_from(
+            self._buffer, pos
         )
-        body = self._stream.read(length)
-        if len(body) < length:
+        self._pos = pos + _HEADER_SIZE
+        if mrt_type != _BGP4MP and mrt_type != _BGP4MP_ET:
+            # Fast skip: the body of an unmodeled record is never read
+            # into a Python object, just stepped over in the buffer.
+            if not self._skip(length):
+                return self._damaged("truncated MRT record body")
+            self._skipped += 1
+            return None
+        if not self._fill(length):
+            self._pos = len(self._buffer)
             return self._damaged("truncated MRT record body")
-        if mrt_type == MRTType.BGP4MP_ET:
-            if length < 4:
+        start = self._pos
+        self._pos = start + length
+        body = memoryview(self._buffer)[start : self._pos]
+        if mrt_type == _BGP4MP_ET:
+            if length <= 4:
+                # length == 4 is the microseconds field alone: an empty
+                # message body is damage, not a decodable record.
                 return self._damaged("BGP4MP_ET record too short")
-            microseconds = struct.unpack("!I", body[:4])[0]
-            body = body[4:]
-            full_timestamp = timestamp + microseconds / 1_000_000
-            return self._decode_bgp4mp(full_timestamp, subtype, body)
-        if mrt_type == MRTType.BGP4MP:
-            return self._decode_bgp4mp(float(timestamp), subtype, body)
-        self._skipped += 1
-        return None
+            microseconds = MICROSECONDS_STRUCT.unpack_from(body, 0)[0]
+            return self._decode_bgp4mp(
+                timestamp + microseconds / 1_000_000, subtype, body[4:]
+            )
+        return self._decode_bgp4mp(float(timestamp), subtype, body)
 
     def _decode_bgp4mp(
-        self, timestamp: float, subtype: int, body: bytes
+        self, timestamp: float, subtype: int, body
     ) -> Optional[Bgp4mpMessage]:
-        if subtype not in (
-            Bgp4mpSubtype.MESSAGE,
-            Bgp4mpSubtype.MESSAGE_AS4,
-        ):
+        if subtype != _MESSAGE and subtype != _MESSAGE_AS4:
             self._skipped += 1
             return None
         try:
-            if subtype == Bgp4mpSubtype.MESSAGE_AS4:
+            if subtype == _MESSAGE_AS4:
                 if len(body) < 12:
                     raise MRTError("truncated BGP4MP_AS4 envelope")
-                peer_asn, local_asn, _iface, afi = struct.unpack(
-                    "!IIHH", body[:12]
-                )
+                afi = _U16_AT(body, 10)
                 offset = 12
             else:
                 if len(body) < 8:
                     raise MRTError("truncated BGP4MP envelope")
-                peer_asn, local_asn, _iface, afi = struct.unpack(
-                    "!HHHH", body[:8]
-                )
+                afi = _U16_AT(body, 6)
                 offset = 8
-            addr_size = 4 if afi == 1 else 16
-            peer_address = unpack_address(
-                afi, body[offset : offset + addr_size]
-            )
-            local_address = unpack_address(
-                afi, body[offset + addr_size : offset + 2 * addr_size]
-            )
-            offset += 2 * addr_size
-            message, _consumed = decode_message_from(body[offset:])
+            envelope_end = offset + (8 if afi == 1 else 32)
+            envelope_key = bytes(body[:envelope_end])
+            envelope = self._envelopes.get(envelope_key)
+            if envelope is None:
+                envelope = bounded_store(
+                    self._envelopes,
+                    envelope_key,
+                    self._decode_envelope(envelope_key, subtype, afi, offset),
+                    _ENVELOPE_MEMO_LIMIT,
+                )
+            peer_asn, local_asn, peer_address, local_address = envelope
+            message, _consumed = decode_message_from(body[envelope_end:])
         except (MRTError, WireFormatError, ValueError) as exc:
             return self._damaged(str(exc))
         return Bgp4mpMessage(
@@ -122,11 +200,34 @@ class MRTReader:
             message,
         )
 
+    @staticmethod
+    def _decode_envelope(raw: bytes, subtype: int, afi: int, offset: int):
+        if subtype == _MESSAGE_AS4:
+            peer_asn, local_asn, _iface, _afi = _AS4_ENVELOPE.unpack_from(
+                raw, 0
+            )
+        else:
+            peer_asn, local_asn, _iface, _afi = _AS2_ENVELOPE.unpack_from(
+                raw, 0
+            )
+        addr_size = 4 if afi == 1 else 16
+        peer_address = unpack_address(afi, raw[offset : offset + addr_size])
+        local_address = unpack_address(
+            afi, raw[offset + addr_size : offset + 2 * addr_size]
+        )
+        # Pre-validated ASN objects: Bgp4mpMessage's own ASN() calls
+        # then hit the identity fast path on every record.
+        return ASN(peer_asn), ASN(local_asn), peer_address, local_address
+
     def _damaged(self, reason: str):
         if self._tolerant:
             self._errors += 1
             return _EOF if "end of stream" in reason else None
         raise MRTError(reason)
+
+
+def _U16_AT(buffer, index: int) -> int:
+    return (buffer[index] << 8) | buffer[index + 1]
 
 
 class _EOFType:

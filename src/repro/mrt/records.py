@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.bgp.message import BGPMessage
 from repro.netbase.asn import ASN
+from repro.netbase.memo import bounded_store
 
 
 class MRTError(ValueError):
@@ -52,6 +53,36 @@ class TableDumpV2Subtype(enum.IntEnum):
 
 _AFI_IPV4 = 1
 _AFI_IPV6 = 2
+
+#: Precompiled header structs (the reader unpacks one per record).
+HEADER_STRUCT = struct.Struct("!IHHI")
+MICROSECONDS_STRUCT = struct.Struct("!I")
+
+#: Packed-address -> text memo.  Collector archives carry the same
+#: handful of session addresses on every record; formatting them
+#: through :mod:`ipaddress` once per distinct value instead of once per
+#: record is a large win on the decode hot path.  Bounded: cleared
+#: wholesale when full.
+_ADDRESS_MEMO: dict = {}
+_ADDRESS_MEMO_LIMIT = 8192
+_address_memo_enabled = True
+
+
+def set_address_memo(enabled: bool) -> bool:
+    """Enable/disable (and clear) the packed-address memo.
+
+    Returns the previous setting (benchmark verify mode toggles this).
+    """
+    global _address_memo_enabled
+    previous = _address_memo_enabled
+    _address_memo_enabled = bool(enabled)
+    _ADDRESS_MEMO.clear()
+    return previous
+
+
+def address_memo_size() -> int:
+    """Current number of memoized addresses (for bound tests)."""
+    return len(_ADDRESS_MEMO)
 
 
 class MRTHeader:
@@ -156,28 +187,36 @@ def pack_address(address: str) -> "tuple[int, bytes]":
 
 def unpack_address(afi: int, data: bytes) -> str:
     """Decode a packed address for the given AFI."""
+    packed = bytes(data)
+    if _address_memo_enabled:
+        cached = _ADDRESS_MEMO.get((afi, packed))
+        if cached is not None:
+            return cached
     if afi == _AFI_IPV4:
-        if len(data) != 4:
-            raise MRTError(f"bad IPv4 address length: {len(data)}")
-        return str(ipaddress.IPv4Address(data))
-    if afi == _AFI_IPV6:
-        if len(data) != 16:
-            raise MRTError(f"bad IPv6 address length: {len(data)}")
-        return str(ipaddress.IPv6Address(data))
-    raise MRTError(f"unsupported AFI: {afi}")
+        if len(packed) != 4:
+            raise MRTError(f"bad IPv4 address length: {len(packed)}")
+        text = str(ipaddress.IPv4Address(packed))
+    elif afi == _AFI_IPV6:
+        if len(packed) != 16:
+            raise MRTError(f"bad IPv6 address length: {len(packed)}")
+        text = str(ipaddress.IPv6Address(packed))
+    else:
+        raise MRTError(f"unsupported AFI: {afi}")
+    if _address_memo_enabled:
+        bounded_store(_ADDRESS_MEMO, (afi, packed), text, _ADDRESS_MEMO_LIMIT)
+    return text
 
 
 def encode_header(header: MRTHeader) -> bytes:
     """Serialize the common header (12 or 16 bytes for _ET)."""
-    base = struct.pack(
-        "!IHHI",
+    base = HEADER_STRUCT.pack(
         int(header.timestamp),
         header.mrt_type,
         header.subtype,
         header.length,
     )
     if header.mrt_type == MRTType.BGP4MP_ET:
-        return base + struct.pack("!I", header.microseconds)
+        return base + MICROSECONDS_STRUCT.pack(header.microseconds)
     return base
 
 
@@ -185,7 +224,7 @@ def decode_header(data: bytes) -> "tuple[MRTHeader, int]":
     """Parse the common header; return (header, header_size)."""
     if len(data) < 12:
         raise MRTError("truncated MRT header")
-    timestamp, mrt_type, subtype, length = struct.unpack("!IHHI", data[:12])
+    timestamp, mrt_type, subtype, length = HEADER_STRUCT.unpack(data[:12])
     try:
         kind = MRTType(mrt_type)
     except ValueError as exc:
@@ -195,7 +234,7 @@ def decode_header(data: bytes) -> "tuple[MRTHeader, int]":
     if kind == MRTType.BGP4MP_ET:
         if len(data) < 16:
             raise MRTError("truncated BGP4MP_ET header")
-        header.microseconds = struct.unpack("!I", data[12:16])[0]
+        header.microseconds = MICROSECONDS_STRUCT.unpack(data[12:16])[0]
         # The microsecond field is part of the record body per RFC 6396,
         # so `length` includes it; account for that at the call site.
         size = 16

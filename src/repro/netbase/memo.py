@@ -1,0 +1,25 @@
+"""Shared bounded-memo primitive for the decode hot path.
+
+Every read-path cache — attribute blocks, AS paths, community sets,
+NLRI encodings, packed addresses, MRT envelopes, cleaning-pipeline
+scans — uses one eviction policy: when the memo reaches its bound it
+is cleared wholesale and refills from the live working set.  Real
+archives have small working sets, so a full clear costs one cold
+decode per distinct value and keeps the policy O(1) with no
+bookkeeping on the hit path (an LRU would charge every hit).  Keeping
+the policy here, in one place, means a future change (say, to a real
+LRU) cannot silently diverge between caches.
+"""
+
+from __future__ import annotations
+
+
+def bounded_store(cache: dict, key, value, limit: int):
+    """Store ``key -> value``, clearing the whole memo at *limit*.
+
+    Returns *value* so call sites can store-and-use in one expression.
+    """
+    if len(cache) >= limit:
+        cache.clear()
+    cache[key] = value
+    return value

@@ -19,9 +19,38 @@ import ipaddress
 from typing import Iterator
 
 from repro.netbase.errors import PrefixError
+from repro.netbase.memo import bounded_store
 
 _V4_BITS = 32
 _V6_BITS = 128
+
+#: NLRI-decode interning memo: real archives repeat a small working set
+#: of prefixes millions of times, so identical wire encodings resolve
+#: to the *same* Prefix object (enabling identity fast paths in the
+#: analysis layer) instead of re-parsing.  Bounded: cleared wholesale
+#: when full, like the MRT writer's message cache.
+_NLRI_MEMO: dict = {}
+_NLRI_MEMO_LIMIT = 65536
+_nlri_memo_enabled = True
+
+
+def set_nlri_memo(enabled: bool) -> bool:
+    """Enable/disable (and clear) the NLRI interning memo.
+
+    Returns the previous setting.  Disabling forces every decode down
+    the naive parse path — the benchmark's verify mode uses this to
+    prove the memo is a pure optimization.
+    """
+    global _nlri_memo_enabled
+    previous = _nlri_memo_enabled
+    _nlri_memo_enabled = bool(enabled)
+    _NLRI_MEMO.clear()
+    return previous
+
+
+def nlri_memo_size() -> int:
+    """Current number of interned NLRI encodings (for bound tests)."""
+    return len(_NLRI_MEMO)
 
 
 class Prefix:
@@ -102,13 +131,24 @@ class Prefix:
         octets = (length + 7) // 8
         if len(data) < 1 + octets:
             raise PrefixError("truncated NLRI")
-        network_bytes = data[1 : 1 + octets] + b"\x00" * (max_bits // 8 - octets)
+        consumed = 1 + octets
+        if _nlri_memo_enabled:
+            key = (version, bytes(data[:consumed]))
+            cached = _NLRI_MEMO.get(key)
+            if cached is not None:
+                return cached
+        network_bytes = (
+            bytes(data[1:consumed]) + b"\x00" * (max_bits // 8 - octets)
+        )
         network = int.from_bytes(network_bytes, "big")
         mask = _mask(length, max_bits)
         if network & ~mask & ((1 << max_bits) - 1):
             # Tolerate sloppy senders: mask off trailing garbage bits.
             network &= mask
-        return cls.from_int(network, length, version), 1 + octets
+        result = (cls.from_int(network, length, version), consumed)
+        if _nlri_memo_enabled:
+            bounded_store(_NLRI_MEMO, key, result, _NLRI_MEMO_LIMIT)
+        return result
 
     # ------------------------------------------------------------------
     # accessors

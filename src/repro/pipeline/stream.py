@@ -98,12 +98,19 @@ def replay_mrt(
     collector: str = "mrt",
     tolerant: bool = True,
     close_sink: bool = False,
+    stats: "Optional[Dict[str, int]]" = None,
 ) -> int:
     """Pump an MRT archive through *sink* as observations.
 
     *source* is a path or an open binary stream.  Returns the number
     of observations delivered.  A :class:`PipelineStop` raised by the
     sink propagates to the caller after the reader is released.
+
+    When *stats* is a dict it is filled with the replay's bookkeeping —
+    ``records``, ``skipped_records``, ``error_records`` (tolerant-mode
+    drops), ``messages`` and ``observations`` — so callers can surface
+    what the reader silently stepped over.  The dict is populated even
+    when the sink stops the pipeline early.
     """
     from repro.mrt.reader import MRTReader
 
@@ -113,12 +120,22 @@ def replay_mrt(
     else:
         handle = None
     reader_stream = handle if handle is not None else source
+    reader = MRTReader(reader_stream, tolerant=tolerant)
+    records = 0
     try:
-        for record in MRTReader(reader_stream, tolerant=tolerant):
-            stream.push_bgp4mp(record, collector)
+        push_bgp4mp = stream.push_bgp4mp
+        for record in reader:
+            records += 1
+            push_bgp4mp(record, collector)
     finally:
         if handle is not None:
             handle.close()
+        if stats is not None:
+            stats["records"] = records
+            stats["skipped_records"] = reader.skipped_records
+            stats["error_records"] = reader.error_records
+            stats["messages"] = stream.messages_seen
+            stats["observations"] = stream.observations_emitted
     if close_sink:
         sink.close()
     return stream.observations_emitted

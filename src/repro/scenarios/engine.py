@@ -79,6 +79,11 @@ class ScenarioResult:
     #: ``archive_policy=mrt-spill`` (the files are flushed and closed,
     #: ready for ``mrt-replay --input``).
     spill_paths: "Dict[str, str]" = field(default_factory=dict)
+    #: MRT-replay source bookkeeping (``records``, ``skipped_records``,
+    #: ``error_records``, ``messages``, ``observations``) so
+    #: tolerant-mode drops are visible in the result instead of silent.
+    #: Empty for non-mrt scenario kinds.
+    reader_stats: "Dict[str, int]" = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -141,10 +146,11 @@ def run_scenario(
     )
     stopped = False
     spill_paths: "Dict[str, str]" = {}
+    reader_stats: "Dict[str, int]" = {}
     if spec.kind == "lab":
         _run_lab(spec, proxy)
     elif spec.kind == "mrt":
-        stopped = _run_mrt(spec, proxy, pump)
+        stopped = _run_mrt(spec, proxy, pump, reader_stats)
     else:
         stopped = _run_internet(spec, proxy, pump, spill_paths)
     return ScenarioResult(
@@ -154,6 +160,7 @@ def run_scenario(
         snapshots=pump.snapshots,
         stopped_early=stopped,
         spill_paths=spill_paths,
+        reader_stats=reader_stats,
     )
 
 
@@ -297,7 +304,10 @@ def internet_config_from_spec(spec: ScenarioSpec):
 # mrt-replay scenarios (on-disk archives as a first-class source)
 # ----------------------------------------------------------------------
 def _run_mrt(
-    spec: ScenarioSpec, proxy: CollectorProxy, pump: _MetricsPump
+    spec: ScenarioSpec,
+    proxy: CollectorProxy,
+    pump: _MetricsPump,
+    reader_stats: "Dict[str, int]",
 ) -> bool:
     from repro.pipeline.stream import replay_mrt
 
@@ -325,6 +335,7 @@ def _run_mrt(
                 pump,
                 collector=section.collector,
                 tolerant=section.tolerant,
+                stats=reader_stats,
             )
         except PipelineStop:
             stopped = True

@@ -59,7 +59,9 @@ from repro.scenarios.spec import ScenarioSpec
 #: collector output changes for an unchanged spec, so persistent
 #: ``--cache-dir`` trees from older toolkit versions are recomputed
 #: instead of silently served as current numbers.
-CACHE_VERSION = "v1"
+#: v2: mrt-replay results gained ``reader_stats``; a v1 entry would
+#: replay byte-different from a fresh computation.
+CACHE_VERSION = "v2"
 
 #: Manifest filename inside the cache dir, and its schema version.
 MANIFEST_NAME = "sweep.json"

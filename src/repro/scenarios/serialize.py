@@ -164,6 +164,8 @@ def result_to_dict(result) -> "Dict[str, Any]":
         payload["stopped_early"] = True
     if getattr(result, "spill_paths", None):
         payload["spill_paths"] = dict(result.spill_paths)
+    if getattr(result, "reader_stats", None):
+        payload["reader_stats"] = dict(result.reader_stats)
     return payload
 
 
@@ -179,6 +181,7 @@ def result_from_dict(data: "Dict[str, Any]"):
         snapshots=list(data.get("snapshots", [])),
         stopped_early=bool(data.get("stopped_early", False)),
         spill_paths=dict(data.get("spill_paths", {})),
+        reader_stats=dict(data.get("reader_stats", {})),
     )
 
 

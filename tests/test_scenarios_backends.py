@@ -245,8 +245,10 @@ class TestFaultTolerance:
         )
         assert first.cache_misses == 1
         digest = spec_hash(failing_spec())
+        from repro.scenarios.runner import CACHE_VERSION
+
         assert not os.path.exists(
-            os.path.join(cache, f"{digest}.v1.json")
+            os.path.join(cache, f"{digest}.{CACHE_VERSION}.json")
         )
         again = run_sweep(
             [failing_spec()], workers=1, backend="serial", cache_dir=cache
@@ -326,7 +328,11 @@ class TestManifestAndResume:
         first = run_sweep(specs, workers=1, backend="serial", cache_dir=cache)
         # Simulate a cell lost to a mid-write kill: its cache file is
         # gone but the manifest still knows the sweep's shape.
-        lost = os.path.join(cache, f"{spec_hash(specs[1])}.v1.json")
+        from repro.scenarios.runner import CACHE_VERSION
+
+        lost = os.path.join(
+            cache, f"{spec_hash(specs[1])}.{CACHE_VERSION}.json"
+        )
         os.remove(lost)
         resumed = resume_sweep(cache, workers=1, backend="serial")
         assert resumed.cache_hits == 2
