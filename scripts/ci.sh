@@ -54,6 +54,18 @@ python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
 grep -q "4 hit(s), 0 miss(es)" "$CACHE_DIR/converged.txt"
 
 echo
+echo "== smoke: sweep status view =="
+# The human table goes to stderr; --json puts the machine payload on
+# stdout, where it must parse and agree that every cell finished.
+python -m repro scenario sweep --status --cache-dir "$SHARD_CACHE"
+python -m repro scenario sweep --status --cache-dir "$SHARD_CACHE" \
+    --json | python -c '
+import json, sys
+status = json.load(sys.stdin)
+assert status["counts"]["done"] == status["counts"]["total"] == 4, status
+'
+
+echo
 echo "== cross-backend determinism suite =="
 python -m pytest tests/test_backend_determinism.py -q
 
@@ -82,6 +94,14 @@ echo "== smoke: read-path benchmark (verify + baseline floor) =="
 python benchmarks/bench_analysis.py --quick --min-throughput-ratio 1.0 \
     --baseline BENCH_analysis.json \
     --output "$CACHE_DIR/BENCH_analysis.json"
+
+echo
+echo "== smoke: instrumentation overhead benchmark =="
+# Metrics enabled vs disabled, interleaved best-of.  The tracked
+# BENCH_obs.json numbers pin the strict 5% budget; the smoke rung
+# relaxes it because a sub-second run on a shared box wobbles.
+python benchmarks/bench_obs.py --quick --max-overhead 0.15 \
+    --output "$CACHE_DIR/BENCH_obs.json"
 
 echo
 echo "== smoke: mrt-replay of a spilled archive =="

@@ -20,7 +20,7 @@ from typing import Iterable, Iterator, List, Optional, Protocol
 
 from repro.analysis.observations import Observation
 from repro.netbase.asn import AS_TRANS, ASN
-from repro.netbase.memo import bounded_store
+from repro.netbase.memo import bounded_store, memo_counters
 from repro.netbase.prefix import Prefix
 
 #: The paper's disambiguation step: 0.01 ms.
@@ -28,6 +28,11 @@ SAME_SECOND_STEP = 0.00001
 
 #: Bound for the per-pipeline AS-path memo (cleared wholesale).
 _PATH_MEMO_LIMIT = 65536
+
+#: The scan memos are per-pipeline; their effectiveness counters are
+#: process-wide like every other named memo's.
+_PATH_INFO_STATS = memo_counters("cleaning.path_info")
+_PEER_INFO_STATS = memo_counters("cleaning.peer_info")
 
 
 class AllocationOracle(Protocol):
@@ -185,8 +190,10 @@ class CleaningPipeline:
                 )
                 path_info = bounded_store(
                     self._path_info, as_path, (distinct, flagged),
-                    _PATH_MEMO_LIMIT,
+                    _PATH_MEMO_LIMIT, _PATH_INFO_STATS,
                 )
+            else:
+                _PATH_INFO_STATS.hits += 1
             path_asns, path_flagged = path_info
         else:
             path_asns, path_flagged = (), False
@@ -197,8 +204,10 @@ class CleaningPipeline:
                 self._peer_info,
                 int(peer),
                 (peer, bool(peer.is_reserved or peer == AS_TRANS)),
-                _PATH_MEMO_LIMIT,
+                _PATH_MEMO_LIMIT, _PEER_INFO_STATS,
             )
+        else:
+            _PEER_INFO_STATS.hits += 1
         peer, peer_flagged = peer_info
         if self._drop_reserved and (path_flagged or peer_flagged):
             report.dropped_reserved_asn += 1

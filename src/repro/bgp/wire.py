@@ -43,7 +43,7 @@ from repro.bgp.message import (
     UpdateMessage,
 )
 from repro.netbase.asn import ASN
-from repro.netbase.memo import bounded_store
+from repro.netbase.memo import bounded_store, memo_counters
 from repro.netbase.prefix import Prefix
 
 _CAP_MP = 1
@@ -87,6 +87,12 @@ _LARGE_SET_MEMO: dict = {}  # raw LARGE_COMMUNITIES value -> frozenset
 _ADDR4_MEMO: dict = {}  # packed IPv4 -> text (NEXT_HOP et al.)
 _memo_enabled = True
 
+_ATTR_BLOCK_STATS = memo_counters("wire.attr_block")
+_AS_PATH_STATS = memo_counters("wire.as_path")
+_COMMUNITY_SET_STATS = memo_counters("wire.community_set")
+_LARGE_SET_STATS = memo_counters("wire.large_set")
+_ADDR4_STATS = memo_counters("wire.addr4")
+
 
 def set_decode_memo(enabled: bool) -> bool:
     """Enable/disable (and clear) the attribute-decode memo caches.
@@ -123,10 +129,13 @@ def decode_memo_sizes() -> "dict[str, int]":
 def _ipv4_text(packed: bytes) -> str:
     cached = _ADDR4_MEMO.get(packed)
     if cached is not None:
+        _ADDR4_STATS.hits += 1
         return cached
     text = str(ipaddress.IPv4Address(packed))
     if _memo_enabled:
-        bounded_store(_ADDR4_MEMO, packed, text, _MEMO_LIMIT)
+        bounded_store(
+            _ADDR4_MEMO, packed, text, _MEMO_LIMIT, _ADDR4_STATS
+        )
     return text
 
 
@@ -434,13 +443,16 @@ def _decode_attribute_block(data):
     if _memo_enabled:
         cached = _ATTR_BLOCK_MEMO.get(raw)
         if cached is not None:
+            _ATTR_BLOCK_STATS.hits += 1
             return cached
     fields, reach_v6, unreach_v6, mp_next_hop = _parse_attributes(raw)
     if mp_next_hop is not None and fields.get("next_hop") is None:
         fields["next_hop"] = mp_next_hop
     result = (PathAttributes(**fields), tuple(reach_v6), tuple(unreach_v6))
     if _memo_enabled:
-        bounded_store(_ATTR_BLOCK_MEMO, raw, result, _MEMO_LIMIT)
+        bounded_store(
+            _ATTR_BLOCK_MEMO, raw, result, _MEMO_LIMIT, _ATTR_BLOCK_STATS
+        )
     return result
 
 
@@ -509,7 +521,11 @@ def _dec_as_path(value, fields, reach_v6, unreach_v6):
     if path is None:
         path = _decode_as_path(value)
         if _memo_enabled:
-            bounded_store(_AS_PATH_MEMO, value, path, _MEMO_LIMIT)
+            bounded_store(
+                _AS_PATH_MEMO, value, path, _MEMO_LIMIT, _AS_PATH_STATS
+            )
+    else:
+        _AS_PATH_STATS.hits += 1
     fields["as_path"] = path
 
 
@@ -557,7 +573,12 @@ def _dec_communities(value, fields, reach_v6, unreach_v6):
             for i in range(0, len(value), 4)
         )
         if _memo_enabled:
-            bounded_store(_COMMUNITY_SET_MEMO, value, community_set, _MEMO_LIMIT)
+            bounded_store(
+                _COMMUNITY_SET_MEMO, value, community_set, _MEMO_LIMIT,
+                _COMMUNITY_SET_STATS,
+            )
+    else:
+        _COMMUNITY_SET_STATS.hits += 1
     existing = fields.get("communities")
     if existing is None or not existing.large:
         fields["communities"] = community_set
@@ -577,7 +598,12 @@ def _dec_large_communities(value, fields, reach_v6, unreach_v6):
             for i in range(0, len(value), 12)
         )
         if _memo_enabled:
-            bounded_store(_LARGE_SET_MEMO, value, large, _MEMO_LIMIT)
+            bounded_store(
+                _LARGE_SET_MEMO, value, large, _MEMO_LIMIT,
+                _LARGE_SET_STATS,
+            )
+    else:
+        _LARGE_SET_STATS.hits += 1
     existing = fields.get("communities")
     classic = existing.classic if existing is not None else ()
     fields["communities"] = CommunitySet(classic, large)

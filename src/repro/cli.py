@@ -117,6 +117,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full result as JSON instead of tables",
     )
+    scenario_run.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "enable the instrumentation registry for this run and"
+            " report phase times, counters and memo hit rates"
+        ),
+    )
+    scenario_run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics report as JSON to FILE (implies --metrics)",
+    )
+    scenario_run.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="append a JSONL run journal (start/heartbeat/finish) to FILE",
+    )
+    scenario_run.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="journal/progress heartbeat cadence in observations",
+    )
+    scenario_run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print heartbeat progress lines to stderr while running",
+    )
+    scenario_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print a hot-spot summary to stderr",
+    )
 
     scenario_sweep = scenario_sub.add_parser(
         "sweep", help="run a multi-seed sweep in parallel"
@@ -182,6 +219,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit all results as JSON instead of tables",
+    )
+    scenario_sweep.add_argument(
+        "--status",
+        action="store_true",
+        help=(
+            "render the live status of the sweep recorded in"
+            " --cache-dir (done/running/failed/retried cells, rates,"
+            " stragglers) and exit without running anything"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line to stderr as each cell completes",
     )
     return parser
 
@@ -327,6 +378,9 @@ def _load_run_spec(arguments) -> "tuple[object, Optional[str]]":
 
 
 def _scenario_run(arguments) -> int:
+    import json
+
+    from repro import obs
     from repro.scenarios import (
         ScenarioValidationError,
         UnknownScenarioError,
@@ -334,16 +388,65 @@ def _scenario_run(arguments) -> int:
         run_scenario,
     )
 
+    want_metrics = arguments.metrics or arguments.metrics_out is not None
+    journal = None
     try:
         spec, error = _load_run_spec(arguments)
         if error is not None:
             print(error, file=sys.stderr)
             return 2
-        result = run_scenario(spec)
+
+        on_heartbeat = None
+        if arguments.progress:
+            def on_heartbeat(payload) -> None:
+                # Progress is human chatter: stderr only, so a --json
+                # run's stdout stays one parseable document.
+                print(
+                    f"[{spec.name}] {payload['observations']:,}"
+                    f" observations @"
+                    f" {payload['rate_per_second']:,.0f}/s,"
+                    f" peak rss {payload['peak_rss_kb']:,} KiB",
+                    file=sys.stderr,
+                )
+
+        if arguments.journal is not None:
+            journal = obs.RunJournal(arguments.journal)
+            journal.write("start", name=spec.name)
+
+        def execute():
+            return run_scenario(
+                spec,
+                journal=journal,
+                heartbeat_every=arguments.heartbeat_every,
+                on_heartbeat=on_heartbeat,
+            )
+
+        previous = obs.set_metrics_enabled(True) if want_metrics else None
+        try:
+            if arguments.profile:
+                result, profile_text = obs.profile_call(execute)
+                print(profile_text, file=sys.stderr)
+            else:
+                result = execute()
+        finally:
+            if want_metrics:
+                obs.set_metrics_enabled(previous)
     except (UnknownScenarioError, ScenarioValidationError) as exc:
+        if journal is not None:
+            journal.write("fail", error=str(exc))
+            journal.close()
         message = exc.args[0] if exc.args else str(exc)
         print(message, file=sys.stderr)
         return 2
+    if journal is not None:
+        journal.write("finish", stopped_early=result.stopped_early)
+        journal.close()
+    if arguments.metrics_out is not None:
+        with open(arguments.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(result.metrics_report, indent=2, sort_keys=True)
+            )
+            handle.write("\n")
     if arguments.json:
         print(result_to_json(result, indent=2))
         return 0
@@ -361,7 +464,52 @@ def _scenario_run(arguments) -> int:
         )
     for name, path in sorted(result.spill_paths.items()):
         print(f"\nspilled archive [{name}]: {path}")
+    if result.metrics_report:
+        _print_metrics_report(result.metrics_report)
     return 0
+
+
+def _print_metrics_report(report: dict) -> None:
+    """Human rendering of a run's instrumentation report."""
+    phases = report.get("phases", {})
+    if phases:
+        rows = [(name, f"{seconds:.3f}s") for name, seconds in phases.items()]
+        print()
+        print(render_table(("phase", "wall"), rows, title="Phase timing"))
+    counters = report.get("counters", {})
+    gauges = report.get("gauges", {})
+    if counters or gauges:
+        rows = [
+            (name, _format_metric_value(value))
+            for name, value in list(counters.items()) + list(gauges.items())
+        ]
+        print()
+        print(render_kv_table(rows, title="Instrumentation"))
+    memo = report.get("memo", {})
+    busy = {
+        name: stats
+        for name, stats in memo.items()
+        if stats.get("hits") or stats.get("misses")
+    }
+    if busy:
+        rows = [
+            (
+                name,
+                f"{stats['hits']:,}",
+                f"{stats['misses']:,}",
+                f"{stats['evictions']:,}",
+                format_share(stats.get("hit_rate")),
+            )
+            for name, stats in sorted(busy.items())
+        ]
+        print()
+        print(
+            render_table(
+                ("memo", "hits", "misses", "evictions", "hit rate"),
+                rows,
+                title="Memo effectiveness",
+            )
+        )
 
 
 def _scenario_sweep(arguments) -> int:
@@ -378,6 +526,28 @@ def _scenario_sweep(arguments) -> int:
         resume_sweep,
         run_sweep,
     )
+
+    if arguments.status:
+        return _scenario_sweep_status(arguments)
+
+    on_outcome = None
+    if arguments.progress:
+        def on_outcome(outcome) -> None:
+            state = "done" if outcome.ok else "failed"
+            wall = (
+                f" in {outcome.wall_seconds:.1f}s"
+                if outcome.wall_seconds is not None
+                else ""
+            )
+            retry = (
+                f" ({outcome.attempts} attempts)"
+                if outcome.attempts > 1
+                else ""
+            )
+            print(
+                f"[sweep] {outcome.job.name}: {state}{wall}{retry}",
+                file=sys.stderr,
+            )
 
     try:
         shard = (
@@ -403,6 +573,7 @@ def _scenario_sweep(arguments) -> int:
                 workers=arguments.workers,
                 backend=backend,
                 max_retries=arguments.max_retries,
+                on_outcome=on_outcome,
             )
         else:
             if arguments.name is None:
@@ -434,6 +605,7 @@ def _scenario_sweep(arguments) -> int:
                 cache_dir=arguments.cache_dir,
                 backend=backend,
                 max_retries=arguments.max_retries,
+                on_outcome=on_outcome,
             )
     except (UnknownScenarioError, ScenarioValidationError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -469,6 +641,14 @@ def _scenario_sweep(arguments) -> int:
         f" miss(es); backend {report.backend};"
         f" wall-clock {report.elapsed_seconds:.2f}s"
     )
+    if report.cell_wall_seconds:
+        median = report.cell_seconds_percentile(0.5)
+        slowest = report.cell_seconds_percentile(1.0)
+        print(
+            f"cells: {report.total_cell_seconds():.2f}s compute total;"
+            f" median {median:.2f}s, slowest {slowest:.2f}s;"
+            f" {report.retried_cells()} retried"
+        )
     if report.skipped:
         print(
             f"sharded: {report.skipped} cell(s) left to other shards"
@@ -486,6 +666,37 @@ def _scenario_sweep(arguments) -> int:
             )
         print(f"{len(report.failures)} cell(s) failed; {advice}")
         return 1
+    return 0
+
+
+def _scenario_sweep_status(arguments) -> int:
+    """``repro scenario sweep --status``: the live-status view.
+
+    Reads only the manifest and journals under ``--cache-dir`` — it
+    never touches a running sweep, so it is safe to point at one
+    mid-flight (or at a dead one, post-mortem).
+    """
+    import json
+
+    from repro.obs import collect_sweep_status, render_sweep_status
+
+    if arguments.cache_dir is None:
+        print("--status requires --cache-dir", file=sys.stderr)
+        return 2
+    status = collect_sweep_status(arguments.cache_dir)
+    if not status.cells:
+        print(
+            f"no sweep manifest found in {arguments.cache_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.json:
+        # Machine payload on stdout, like every other --json mode.
+        print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
+    else:
+        # Status is a monitoring view: keep it on stderr so watching a
+        # sweep never contaminates stdout captures/pipes.
+        print(render_sweep_status(status), file=sys.stderr)
     return 0
 
 

@@ -36,7 +36,7 @@ from repro.mrt.records import (
     unpack_address,
 )
 from repro.netbase.asn import ASN
-from repro.netbase.memo import bounded_store
+from repro.netbase.memo import bounded_store, memo_counters
 
 _HEADER_SIZE = 12
 _CHUNK_SIZE = 1 << 16  # 64 KiB read granularity
@@ -52,6 +52,10 @@ _MESSAGE_AS4 = int(Bgp4mpSubtype.MESSAGE_AS4)
 #: Per-reader envelope memo bound (a damaged archive could otherwise
 #: grow it without limit; genuine archives have few sessions).
 _ENVELOPE_MEMO_LIMIT = 4096
+
+#: The envelope memo is per-reader, but its effectiveness counters are
+#: process-wide like every other named memo's.
+_ENVELOPE_STATS = memo_counters("mrt.envelope")
 
 
 class MRTReader:
@@ -190,7 +194,10 @@ class MRTReader:
                     envelope_key,
                     self._decode_envelope(envelope_key, subtype, afi, offset),
                     _ENVELOPE_MEMO_LIMIT,
+                    _ENVELOPE_STATS,
                 )
+            else:
+                _ENVELOPE_STATS.hits += 1
             peer_asn, local_asn, peer_address, local_address = envelope
             message, _consumed = decode_message_from(body[envelope_end:])
         except (MRTError, WireFormatError, ValueError) as exc:

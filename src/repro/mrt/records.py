@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.bgp.message import BGPMessage
 from repro.netbase.asn import ASN
-from repro.netbase.memo import bounded_store
+from repro.netbase.memo import bounded_store, memo_counters
 
 
 class MRTError(ValueError):
@@ -66,6 +66,7 @@ MICROSECONDS_STRUCT = struct.Struct("!I")
 _ADDRESS_MEMO: dict = {}
 _ADDRESS_MEMO_LIMIT = 8192
 _address_memo_enabled = True
+_ADDRESS_STATS = memo_counters("mrt.address")
 
 
 def set_address_memo(enabled: bool) -> bool:
@@ -191,6 +192,7 @@ def unpack_address(afi: int, data: bytes) -> str:
     if _address_memo_enabled:
         cached = _ADDRESS_MEMO.get((afi, packed))
         if cached is not None:
+            _ADDRESS_STATS.hits += 1
             return cached
     if afi == _AFI_IPV4:
         if len(packed) != 4:
@@ -203,7 +205,10 @@ def unpack_address(afi: int, data: bytes) -> str:
     else:
         raise MRTError(f"unsupported AFI: {afi}")
     if _address_memo_enabled:
-        bounded_store(_ADDRESS_MEMO, (afi, packed), text, _ADDRESS_MEMO_LIMIT)
+        bounded_store(
+            _ADDRESS_MEMO, (afi, packed), text, _ADDRESS_MEMO_LIMIT,
+            _ADDRESS_STATS,
+        )
     return text
 
 

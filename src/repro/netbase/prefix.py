@@ -19,7 +19,7 @@ import ipaddress
 from typing import Iterator
 
 from repro.netbase.errors import PrefixError
-from repro.netbase.memo import bounded_store
+from repro.netbase.memo import bounded_store, memo_counters
 
 _V4_BITS = 32
 _V6_BITS = 128
@@ -32,6 +32,7 @@ _V6_BITS = 128
 _NLRI_MEMO: dict = {}
 _NLRI_MEMO_LIMIT = 65536
 _nlri_memo_enabled = True
+_NLRI_STATS = memo_counters("prefix.nlri")
 
 
 def set_nlri_memo(enabled: bool) -> bool:
@@ -136,6 +137,7 @@ class Prefix:
             key = (version, bytes(data[:consumed]))
             cached = _NLRI_MEMO.get(key)
             if cached is not None:
+                _NLRI_STATS.hits += 1
                 return cached
         network_bytes = (
             bytes(data[1:consumed]) + b"\x00" * (max_bits // 8 - octets)
@@ -147,7 +149,9 @@ class Prefix:
             network &= mask
         result = (cls.from_int(network, length, version), consumed)
         if _nlri_memo_enabled:
-            bounded_store(_NLRI_MEMO, key, result, _NLRI_MEMO_LIMIT)
+            bounded_store(
+                _NLRI_MEMO, key, result, _NLRI_MEMO_LIMIT, _NLRI_STATS
+            )
         return result
 
     # ------------------------------------------------------------------

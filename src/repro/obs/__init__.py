@@ -1,0 +1,78 @@
+"""Observability: metrics, phase tracing, run journals, sweep status.
+
+One import point for the instrumentation subsystem:
+
+* :mod:`repro.obs.metrics` — process-local registry (counters, gauges,
+  timing histograms) behind a global enable flag; near-zero cost when
+  disabled, explicitly resettable so determinism harnesses stay
+  byte-identical.
+* :mod:`repro.obs.journal` — JSONL run journals with heartbeat lines
+  (progress, rates, peak RSS), written per scenario and per sweep cell.
+* :mod:`repro.obs.status` — ``repro scenario sweep --status``'s model:
+  done/running/failed/retried cells, rates and stragglers, rebuilt
+  from manifests + journals alone.
+* :mod:`repro.obs.profiling` — the ``--profile`` cProfile wrapper.
+
+Memo effectiveness counters live with the caches themselves in
+:mod:`repro.netbase.memo`; re-exported here so one import surfaces the
+whole instrumentation surface.
+"""
+
+from repro.netbase.memo import memo_stats, reset_memo_stats
+from repro.obs.journal import (
+    RunJournal,
+    cell_journal_path,
+    iter_journal,
+    journal_dir,
+    peak_rss_kb,
+    read_journal,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    TimerStats,
+    count,
+    enabled_scope,
+    gauge,
+    metrics_enabled,
+    phase,
+    record_timing,
+    registry,
+    reset_metrics,
+    set_metrics_enabled,
+    timed,
+)
+from repro.obs.profiling import profile_call
+from repro.obs.status import (
+    CellStatus,
+    SweepStatus,
+    collect_sweep_status,
+    render_sweep_status,
+)
+
+__all__ = [
+    "CellStatus",
+    "MetricsRegistry",
+    "RunJournal",
+    "SweepStatus",
+    "TimerStats",
+    "cell_journal_path",
+    "collect_sweep_status",
+    "count",
+    "enabled_scope",
+    "gauge",
+    "iter_journal",
+    "journal_dir",
+    "memo_stats",
+    "metrics_enabled",
+    "peak_rss_kb",
+    "phase",
+    "profile_call",
+    "read_journal",
+    "record_timing",
+    "registry",
+    "render_sweep_status",
+    "reset_memo_stats",
+    "reset_metrics",
+    "set_metrics_enabled",
+    "timed",
+]

@@ -1,0 +1,127 @@
+"""JSONL run journals: an append-only trail of run lifecycle events.
+
+A journal is one file of newline-delimited JSON objects.  Every line
+carries at least ``event`` and ``ts`` (wall-clock seconds); heartbeat
+lines add progress counters, observation rates and peak RSS.  Journals
+are written next to the sweep cache manifest (one per cell) and — for
+direct runs — wherever ``repro scenario run --journal`` points.
+
+Append-only is load-bearing twice over: a *retried* sweep cell reopens
+the same journal, so the full attempt history survives; and the
+``--status`` reader can tail a journal that another process is still
+writing.  Readers therefore tolerate a truncated final line (the
+writer may be mid-``write`` when we read).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Iterator, List, Optional
+
+
+#: Subdirectory of a sweep cache dir holding per-cell journals.
+JOURNAL_DIR_NAME = "journals"
+
+
+def journal_dir(cache_dir: str) -> str:
+    """Where a sweep's per-cell journals live."""
+    return os.path.join(cache_dir, JOURNAL_DIR_NAME)
+
+
+def cell_journal_path(cache_dir: str, digest: str) -> str:
+    """The journal file for one sweep cell, keyed by its spec hash."""
+    return os.path.join(journal_dir(cache_dir), f"{digest}.jsonl")
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size, in KiB (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if os.uname().sysname == "Darwin":  # pragma: no cover - platform
+        usage //= 1024
+    return int(usage)
+
+
+class RunJournal:
+    """Appends JSONL event lines describing one run (or one sweep cell).
+
+    The journal flushes after every line — a crashed or killed worker
+    leaves behind everything up to its last event, which is exactly
+    what ``--status`` needs to spot stuck cells.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def write(self, event: str, **fields) -> None:
+        """Append one event line (adds ``ts`` automatically)."""
+        record = {"event": event, "ts": time.time()}
+        record.update(fields)
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def heartbeat(
+        self,
+        *,
+        observations: int,
+        elapsed: float,
+        extra: Optional[dict] = None,
+    ) -> None:
+        """Append a progress line with rate and peak RSS."""
+        fields = {
+            "observations": observations,
+            "elapsed_seconds": elapsed,
+            "rate_per_second": observations / elapsed if elapsed > 0 else 0.0,
+            "peak_rss_kb": peak_rss_kb(),
+        }
+        if extra:
+            fields.update(extra)
+        self.write("heartbeat", **fields)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def iter_journal(path: str) -> Iterator[dict]:
+    """Yield journal events, skipping blank and truncated lines.
+
+    A writer killed mid-line leaves a partial JSON tail; readers must
+    not crash on it — the preceding lines are still good data.
+    """
+    try:
+        file = open(path, "r", encoding="utf-8")
+    except OSError:
+        return
+    with file:
+        for line in file:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict):
+                yield event
+
+
+def read_journal(path: str) -> "List[dict]":
+    """All readable events from a journal file (missing file -> [])."""
+    return list(iter_journal(path))

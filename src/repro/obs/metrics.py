@@ -1,0 +1,280 @@
+"""Process-local metrics registry: counters, gauges, timing histograms.
+
+The registry is the heart of the instrumentation subsystem.  Three
+properties drive the design:
+
+* **Near-zero cost when disabled.**  Instrumentation is *off* by
+  default; every module-level helper checks one boolean before doing
+  anything, and :func:`phase` hands back a shared no-op context
+  manager, so an uninstrumented hot loop pays a global load and a
+  branch — nothing allocates, nothing locks.
+* **Explicitly resettable.**  Determinism harnesses compare runs
+  byte-for-byte; metrics must never leak one run's state into the
+  next.  :func:`reset_metrics` zeroes the registry (and, importantly,
+  the engine resets it at the start of every instrumented run so a
+  ``metrics_report`` always describes exactly one run).
+* **Plain data out.**  :meth:`MetricsRegistry.report` emits nothing
+  but JSON-friendly dicts, so reports travel through
+  :mod:`repro.scenarios.serialize`, run journals and the CLI's
+  ``--metrics-out`` without a custom encoder.
+
+Timers keep a compact power-of-two histogram (bucket ``i`` counts
+durations in ``[2**(i-1), 2**i)`` milliseconds) beside min/max/total —
+enough to spot a bimodal phase without storing per-sample data.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+#: Histogram bucket count: bucket 0 is < 1 ms, bucket 20 is ~9 minutes+.
+_TIMER_BUCKETS = 21
+
+
+class TimerStats:
+    """Aggregated durations for one named timer/span."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self.buckets = [0] * _TIMER_BUCKETS
+
+    def record(self, seconds: float) -> None:
+        if self.count == 0 or seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        self.count += 1
+        self.total += seconds
+        milliseconds = seconds * 1000.0
+        index = 0
+        while index < _TIMER_BUCKETS - 1 and milliseconds >= (1 << index):
+            index += 1
+        self.buckets[index] += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.min,
+            "max_seconds": self.max,
+            "mean_seconds": self.total / self.count if self.count else 0.0,
+            "histogram_ms_pow2": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timers for one process.
+
+    Instances are cheap; the module-level default registry
+    (:func:`registry`) is what the engine, reader and CLI share.
+    """
+
+    def __init__(self):
+        self._counters: "Dict[str, int]" = {}
+        self._gauges: "Dict[str, float]" = {}
+        self._timers: "Dict[str, TimerStats]" = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter called *name*."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge called *name* to *value* (last write wins)."""
+        self._gauges[name] = value
+
+    def record_timing(self, name: str, seconds: float) -> None:
+        """Fold one duration into the timer called *name*."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = TimerStats(name)
+        timer.record(seconds)
+
+    def time(self, name: str) -> "_Span":
+        """Context manager recording its ``with`` block's wall time."""
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def timer_seconds(self, name: str) -> float:
+        timer = self._timers.get(name)
+        return timer.total if timer is not None else 0.0
+
+    def phase_seconds(self) -> "Dict[str, float]":
+        """Total wall seconds per ``phase.*`` timer, prefix stripped."""
+        return {
+            name[len("phase."):]: timer.total
+            for name, timer in sorted(self._timers.items())
+            if name.startswith("phase.")
+        }
+
+    def report(self) -> dict:
+        """JSON-friendly snapshot of everything recorded so far."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "timers": {
+                name: timer.as_dict()
+                for name, timer in sorted(self._timers.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every counter, gauge and timer."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._timers)
+
+
+class _Span:
+    """Times one ``with`` block into a registry timer."""
+
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: MetricsRegistry, name: str):
+        self._registry = registry
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._registry.record_timing(
+            self._name, time.perf_counter() - self._started
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_REGISTRY = MetricsRegistry()
+_enabled = False
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def metrics_enabled() -> bool:
+    """Is instrumentation currently on?"""
+    return _enabled
+
+
+def set_metrics_enabled(enabled: bool) -> bool:
+    """Turn instrumentation on/off; returns the previous setting.
+
+    Turning it off does *not* clear the registry — a CLI run flips the
+    flag off after the run and still reads the report.  Use
+    :func:`reset_metrics` for a clean slate.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+def reset_metrics() -> None:
+    """Zero the default registry."""
+    _REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# guarded module-level helpers (the hot-path API)
+# ----------------------------------------------------------------------
+def phase(name: str):
+    """Span over a named phase; a shared no-op while disabled.
+
+    Records into the ``phase.<name>`` timer, which
+    :meth:`MetricsRegistry.phase_seconds` and the engine's
+    ``metrics_report`` surface as per-phase wall time.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _REGISTRY.time(f"phase.{name}")
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Guarded counter increment (no-op while disabled)."""
+    if _enabled:
+        _REGISTRY.count(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Guarded gauge write (no-op while disabled)."""
+    if _enabled:
+        _REGISTRY.gauge(name, value)
+
+
+def record_timing(name: str, seconds: float) -> None:
+    """Guarded timing record (no-op while disabled)."""
+    if _enabled:
+        _REGISTRY.record_timing(name, seconds)
+
+
+def timed(name: str) -> "Callable[[Callable], Callable]":
+    """Decorator form of :func:`phase` for coarse-grained functions."""
+
+    def wrap(function: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return function(*args, **kwargs)
+            with _REGISTRY.time(f"phase.{name}"):
+                return function(*args, **kwargs)
+
+        wrapper.__name__ = getattr(function, "__name__", "wrapped")
+        wrapper.__doc__ = function.__doc__
+        return wrapper
+
+    return wrap
+
+
+def enabled_scope(enabled: bool = True) -> "_EnabledScope":
+    """Context manager flipping the enabled flag for a ``with`` block."""
+    return _EnabledScope(enabled)
+
+
+class _EnabledScope:
+    __slots__ = ("_target", "_previous")
+
+    def __init__(self, target: bool):
+        self._target = bool(target)
+        self._previous: "Optional[bool]" = None
+
+    def __enter__(self) -> "_EnabledScope":
+        self._previous = set_metrics_enabled(self._target)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_metrics_enabled(self._previous)

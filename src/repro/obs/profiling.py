@@ -1,0 +1,42 @@
+"""cProfile wrapper behind ``repro scenario run --profile``.
+
+Profiling a scenario should not require knowing Python's profiler
+incantations: the CLI wraps the run in :func:`profile_call` and prints
+the returned hot-spot summary to stderr (stdout is reserved for the
+run's own output, which may be ``--json``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Tuple
+
+#: How many hot functions the summary shows by default.
+DEFAULT_PROFILE_LINES = 25
+
+
+def profile_call(
+    function: Callable[..., Any],
+    *args,
+    sort: str = "cumulative",
+    lines: int = DEFAULT_PROFILE_LINES,
+    **kwargs,
+) -> "Tuple[Any, str]":
+    """Run *function* under cProfile; return (result, summary text).
+
+    The summary is ``pstats`` output sorted by *sort* (``cumulative``
+    by default — phase-level hot spots — or ``tottime`` for self-time)
+    trimmed to the top *lines* functions.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = function(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(lines)
+    return result, buffer.getvalue()

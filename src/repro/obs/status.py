@@ -1,0 +1,259 @@
+"""Live sweep status, reconstructed from the manifest and journals.
+
+``repro scenario sweep --status`` points this module at a sweep cache
+dir.  Nothing here talks to the running sweep: the manifest
+(``sweep.json``) and the per-cell JSONL journals *are* the interface,
+so status works identically for an in-flight sweep on this machine, a
+sweep run by cooperating shards, or a post-mortem on a dead one.
+
+Derived cell states:
+
+* ``done`` / ``failed`` — straight from the manifest.
+* ``running`` — manifest still says ``pending`` but the cell's journal
+  has a ``start`` without a matching ``finish``.  Heartbeats supply
+  progress (observations, rate, peak RSS).
+* ``pending`` — no evidence of work yet.
+
+A *straggler* is a running cell whose elapsed time exceeds twice the
+median wall time of the cells that already finished — the first place
+to look when a sweep stalls.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.journal import cell_journal_path, read_journal
+from repro.reports.render import render_table
+
+#: Elapsed-over-median factor past which a running cell is a straggler.
+STRAGGLER_FACTOR = 2.0
+
+
+@dataclass
+class CellStatus:
+    """Everything we can say about one sweep cell from disk."""
+
+    digest: str
+    name: str
+    state: str  # done | failed | running | pending
+    attempts: int = 0
+    started_at: "Optional[float]" = None
+    finished_at: "Optional[float]" = None
+    wall_seconds: "Optional[float]" = None
+    #: Running cells: seconds since the last recorded start.
+    elapsed_seconds: "Optional[float]" = None
+    #: Latest heartbeat progress, if any.
+    observations: "Optional[int]" = None
+    rate_per_second: "Optional[float]" = None
+    peak_rss_kb: "Optional[int]" = None
+    straggler: bool = False
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+    def as_dict(self) -> dict:
+        payload = {
+            "digest": self.digest,
+            "name": self.name,
+            "state": self.state,
+            "attempts": self.attempts,
+            "straggler": self.straggler,
+        }
+        for key in (
+            "started_at",
+            "finished_at",
+            "wall_seconds",
+            "elapsed_seconds",
+            "observations",
+            "rate_per_second",
+            "peak_rss_kb",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+
+@dataclass
+class SweepStatus:
+    """The whole sweep's state at one instant."""
+
+    cache_dir: str
+    cells: "List[CellStatus]" = field(default_factory=list)
+
+    def counts(self) -> "Dict[str, int]":
+        tally = {"done": 0, "failed": 0, "running": 0, "pending": 0}
+        for cell in self.cells:
+            tally[cell.state] = tally.get(cell.state, 0) + 1
+        tally["retried"] = sum(1 for cell in self.cells if cell.retried)
+        tally["total"] = len(self.cells)
+        return tally
+
+    def stragglers(self) -> "List[CellStatus]":
+        return [cell for cell in self.cells if cell.straggler]
+
+    def as_dict(self) -> dict:
+        return {
+            "cache_dir": self.cache_dir,
+            "counts": self.counts(),
+            "cells": [cell.as_dict() for cell in self.cells],
+        }
+
+
+def _median(values: "List[float]") -> "Optional[float]":
+    if not values:
+        return None
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def _journal_view(events: "List[dict]") -> dict:
+    """Condense a cell journal to the fields status cares about."""
+    view: dict = {
+        "starts": 0,
+        "finished": False,
+        "last_start_ts": None,
+        "heartbeat": None,
+    }
+    for event in events:
+        kind = event.get("event")
+        if kind == "start":
+            view["starts"] += 1
+            view["last_start_ts"] = event.get("ts")
+            view["finished"] = False
+        elif kind in ("finish", "fail"):
+            view["finished"] = True
+        elif kind == "heartbeat":
+            view["heartbeat"] = event
+    return view
+
+
+def collect_sweep_status(
+    cache_dir: str, *, now: "Optional[float]" = None
+) -> SweepStatus:
+    """Build a :class:`SweepStatus` snapshot from *cache_dir*.
+
+    *now* pins the clock for elapsed-time math (tests); defaults to
+    wall time.
+    """
+    # Imported here, not at module top: runner imports the journal
+    # helpers from this package, and obs must stay importable without
+    # the scenarios layer.
+    from repro.scenarios.runner import SweepManifest
+
+    if now is None:
+        now = time.time()
+    manifest = SweepManifest.load(cache_dir)
+    status = SweepStatus(cache_dir=cache_dir)
+    for digest, cell in sorted(
+        manifest.cells.items(),
+        key=lambda item: (item[1].get("name", ""), item[0]),
+    ):
+        state = cell.get("state", "pending")
+        entry = CellStatus(
+            digest=digest,
+            name=cell.get("name", ""),
+            state=state,
+            attempts=int(cell.get("attempts", 0) or 0),
+            started_at=cell.get("started_at"),
+            finished_at=cell.get("finished_at"),
+        )
+        if (
+            entry.started_at is not None
+            and entry.finished_at is not None
+        ):
+            entry.wall_seconds = entry.finished_at - entry.started_at
+        journal = _journal_view(
+            read_journal(cell_journal_path(cache_dir, digest))
+        )
+        if journal["starts"] > entry.attempts:
+            entry.attempts = journal["starts"]
+        heartbeat = journal["heartbeat"]
+        if heartbeat is not None:
+            entry.observations = heartbeat.get("observations")
+            entry.rate_per_second = heartbeat.get("rate_per_second")
+            entry.peak_rss_kb = heartbeat.get("peak_rss_kb")
+        if (
+            state == "pending"
+            and journal["last_start_ts"] is not None
+            and not journal["finished"]
+        ):
+            entry.state = "running"
+            entry.elapsed_seconds = max(
+                0.0, now - journal["last_start_ts"]
+            )
+        status.cells.append(entry)
+
+    median_wall = _median(
+        [
+            cell.wall_seconds
+            for cell in status.cells
+            if cell.state == "done" and cell.wall_seconds is not None
+        ]
+    )
+    if median_wall is not None and median_wall > 0:
+        for cell in status.cells:
+            if (
+                cell.state == "running"
+                and cell.elapsed_seconds is not None
+                and cell.elapsed_seconds > STRAGGLER_FACTOR * median_wall
+            ):
+                cell.straggler = True
+    return status
+
+
+def _format_seconds(value: "Optional[float]") -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f}s"
+
+
+def render_sweep_status(status: SweepStatus) -> str:
+    """The human table ``--status`` prints (to stderr)."""
+    counts = status.counts()
+    summary = (
+        f"sweep @ {status.cache_dir}: "
+        f"{counts['done']}/{counts['total']} done, "
+        f"{counts['running']} running, {counts['failed']} failed, "
+        f"{counts['pending']} pending, {counts['retried']} retried"
+    )
+    rows = []
+    for cell in status.cells:
+        progress = "-"
+        if cell.observations is not None:
+            rate = (
+                f" @ {cell.rate_per_second:.0f}/s"
+                if cell.rate_per_second
+                else ""
+            )
+            progress = f"{cell.observations} obs{rate}"
+        state = cell.state
+        if cell.straggler:
+            state += " (straggler)"
+        rows.append(
+            (
+                cell.name,
+                state,
+                cell.attempts or "-",
+                _format_seconds(
+                    cell.wall_seconds
+                    if cell.wall_seconds is not None
+                    else cell.elapsed_seconds
+                ),
+                progress,
+                cell.digest[:10],
+            )
+        )
+    table = render_table(
+        ("cell", "state", "attempts", "wall", "progress", "digest"),
+        rows,
+        title=summary,
+    )
+    return table

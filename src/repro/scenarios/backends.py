@@ -46,6 +46,7 @@ runner can checkpoint caches and manifests without locking.
 
 from __future__ import annotations
 
+import time
 import traceback as traceback_module
 from abc import ABC, abstractmethod
 from concurrent.futures import (
@@ -77,6 +78,11 @@ class SweepJob:
     digest: str
     name: str
     spec_json: str
+    #: Where the worker should append its JSONL run journal (start,
+    #: heartbeat, finish/fail lines) — ``None`` disables journaling.
+    #: The path is part of the job, not the payload: journals are
+    #: out-of-band observability and never touch the result JSON.
+    journal_path: "Optional[str]" = None
 
 
 @dataclass(frozen=True)
@@ -107,10 +113,23 @@ class JobOutcome:
     job: SweepJob
     result_json: "Optional[str]" = None
     failure: "Optional[JobFailure]" = None
+    #: Total attempts the worker made for this cell (1 + retries).
+    attempts: int = 1
+    #: Wall-clock bounds of the cell's execution, measured *in the
+    #: worker* — so wall time excludes pool queue wait.  ``None`` when
+    #: the worker died before reporting.
+    started_at: "Optional[float]" = None
+    finished_at: "Optional[float]" = None
 
     @property
     def ok(self) -> bool:
         return self.result_json is not None
+
+    @property
+    def wall_seconds(self) -> "Optional[float]":
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
 
 
 #: Signature of the per-outcome checkpoint hook.
@@ -118,25 +137,37 @@ OutcomeHook = Callable[[JobOutcome], None]
 
 
 def attempt_job(
-    args: "Tuple[str, str, str, int]",
-) -> "Tuple[str, Optional[str], Optional[str], Optional[str], int]":
+    args: "Tuple[str, str, str, int, Optional[str]]",
+) -> "Tuple[str, Optional[str], Optional[str], Optional[str], int, float, float]":
     """Worker entry point shared by every backend.
 
-    Takes ``(name, digest, spec_json, max_retries)`` and returns
-    ``(digest, result_json, error, traceback, attempts)`` — plain
-    picklable tuples in both directions so the same function runs
-    inline, on a thread or in a pool process.  Exceptions never
-    propagate: they are retried up to ``max_retries`` times and then
-    reported as data, so one broken cell cannot take down a pool (the
-    old behavior was a bare ``future.result()`` traceback with no hint
-    of which spec died).
+    Takes ``(name, digest, spec_json, max_retries, journal_path)`` and
+    returns ``(digest, result_json, error, traceback, attempts,
+    started_at, finished_at)`` — plain picklable tuples in both
+    directions so the same function runs inline, on a thread or in a
+    pool process.  Exceptions never propagate: they are retried up to
+    ``max_retries`` times and then reported as data, so one broken
+    cell cannot take down a pool (the old behavior was a bare
+    ``future.result()`` traceback with no hint of which spec died).
+
+    The wall-clock bounds are measured here in the worker, so the
+    manifest's per-cell wall time covers actual execution (including
+    retries) and never the time the job sat queued behind a busy pool.
     """
-    name, digest, spec_json, max_retries = args
+    name, digest, spec_json, max_retries, journal_path = args
+    started_at = time.time()
     attempts = 0
     while True:
         attempts += 1
         try:
-            return digest, run_scenario_json(spec_json), None, None, attempts
+            if journal_path is None:
+                payload = run_scenario_json(spec_json)
+            else:
+                payload = run_scenario_json(spec_json, journal_path)
+            return (
+                digest, payload, None, None, attempts,
+                started_at, time.time(),
+            )
         except Exception as exc:  # noqa: BLE001 — reported, not hidden
             if attempts > max_retries:
                 summary = f"{type(exc).__name__}: {exc}"
@@ -146,14 +177,25 @@ def attempt_job(
                     summary,
                     traceback_module.format_exc(),
                     attempts,
+                    started_at,
+                    time.time(),
                 )
 
 
 def _outcome(job: SweepJob, reply) -> JobOutcome:
     """Fold a worker reply tuple back into a :class:`JobOutcome`."""
-    _, result_json, error, traceback_text, attempts = reply
+    (
+        _, result_json, error, traceback_text, attempts,
+        started_at, finished_at,
+    ) = reply
     if result_json is not None:
-        return JobOutcome(job=job, result_json=result_json)
+        return JobOutcome(
+            job=job,
+            result_json=result_json,
+            attempts=attempts,
+            started_at=started_at,
+            finished_at=finished_at,
+        )
     return JobOutcome(
         job=job,
         failure=JobFailure(
@@ -163,6 +205,9 @@ def _outcome(job: SweepJob, reply) -> JobOutcome:
             traceback=traceback_text or "",
             attempts=attempts,
         ),
+        attempts=attempts,
+        started_at=started_at,
+        finished_at=finished_at,
     )
 
 
@@ -201,7 +246,10 @@ class SerialBackend(ExecutionBackend):
         outcomes: "List[JobOutcome]" = []
         for job in jobs:
             reply = attempt_job(
-                (job.name, job.digest, job.spec_json, max_retries)
+                (
+                    job.name, job.digest, job.spec_json, max_retries,
+                    job.journal_path,
+                )
             )
             outcome = _outcome(job, reply)
             outcomes.append(outcome)
@@ -231,7 +279,10 @@ class _PoolBackend(ExecutionBackend):
             futures = {
                 pool.submit(
                     attempt_job,
-                    (job.name, job.digest, job.spec_json, max_retries),
+                    (
+                        job.name, job.digest, job.spec_json, max_retries,
+                        job.journal_path,
+                    ),
                 ): job
                 for job in jobs
             }
@@ -252,6 +303,8 @@ class _PoolBackend(ExecutionBackend):
                         f"worker died: {type(exc).__name__}: {exc}",
                         traceback_module.format_exc(),
                         1,
+                        None,
+                        None,
                     )
                 outcome = _outcome(job, reply)
                 outcomes.append(outcome)

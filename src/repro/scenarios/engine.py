@@ -34,9 +34,13 @@ reproducible record of what ran.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.netbase.memo import memo_stats, reset_memo_stats
+from repro.obs import metrics as obs_metrics
+from repro.obs.journal import RunJournal
 from repro.pipeline.sinks import PipelineStop, SinkBase
 from repro.pipeline.stream import ObservationStream
 from repro.scenarios.collectors import (
@@ -59,6 +63,12 @@ from repro.scenarios.spec import (
 
 #: Signature of the early-stop hook: (observations so far, proxy).
 EarlyStopHook = Callable[[int, CollectorProxy], bool]
+
+#: Signature of the heartbeat hook: one JSON-friendly progress dict.
+HeartbeatHook = Callable[[dict], None]
+
+#: Default journal heartbeat cadence, in observations.
+DEFAULT_HEARTBEAT_EVERY = 5000
 
 
 @dataclass
@@ -84,6 +94,12 @@ class ScenarioResult:
     #: tolerant-mode drops are visible in the result instead of silent.
     #: Empty for non-mrt scenario kinds.
     reader_stats: "Dict[str, int]" = field(default_factory=dict)
+    #: Instrumentation snapshot (phase wall times, counters, gauges,
+    #: memo hit/miss/evict rates) — populated only when the metrics
+    #: registry is enabled for the run, *always* empty in sweep worker
+    #: payloads (wall times are volatile; the cross-backend determinism
+    #: contract requires byte-identical worker output).
+    metrics_report: dict = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -104,11 +120,38 @@ class _MetricsPump(SinkBase):
         *,
         early_stop: "Optional[EarlyStopHook]" = None,
         snapshot_every: "Optional[int]" = None,
+        journal: "Optional[RunJournal]" = None,
+        heartbeat_every: "Optional[int]" = None,
+        on_heartbeat: "Optional[HeartbeatHook]" = None,
     ):
         self.proxy = proxy
         self.snapshots: "List[dict]" = []
         self._early_stop = early_stop
         self._snapshot_every = snapshot_every
+        self._journal = journal
+        self._on_heartbeat = on_heartbeat
+        # Heartbeats only make sense with somewhere to deliver them.
+        if journal is None and on_heartbeat is None:
+            heartbeat_every = None
+        elif heartbeat_every is None:
+            heartbeat_every = DEFAULT_HEARTBEAT_EVERY
+        self._heartbeat_every = heartbeat_every
+        self._started = time.perf_counter()
+
+    def _heartbeat(self, count: int) -> None:
+        from repro.obs.journal import peak_rss_kb
+
+        elapsed = time.perf_counter() - self._started
+        payload = {
+            "observations": count,
+            "elapsed_seconds": elapsed,
+            "rate_per_second": count / elapsed if elapsed > 0 else 0.0,
+            "peak_rss_kb": peak_rss_kb(),
+        }
+        if self._journal is not None:
+            self._journal.write("heartbeat", **payload)
+        if self._on_heartbeat is not None:
+            self._on_heartbeat(payload)
 
     def push(self, observation) -> None:
         proxy = self.proxy
@@ -121,6 +164,11 @@ class _MetricsPump(SinkBase):
             self.snapshots.append(
                 {"observations": count, "metrics": proxy.snapshot()}
             )
+        if (
+            self._heartbeat_every
+            and count % self._heartbeat_every == 0
+        ):
+            self._heartbeat(count)
         if self._early_stop is not None and self._early_stop(count, proxy):
             raise PipelineStop(
                 f"early_stop hook fired after {count} observations"
@@ -132,18 +180,39 @@ def run_scenario(
     *,
     early_stop: "Optional[EarlyStopHook]" = None,
     snapshot_every: "Optional[int]" = None,
+    journal: "Optional[RunJournal]" = None,
+    heartbeat_every: "Optional[int]" = None,
+    on_heartbeat: "Optional[HeartbeatHook]" = None,
 ) -> ScenarioResult:
     """Validate and execute one scenario.
 
     ``early_stop``/``snapshot_every`` apply to the streaming kinds
     (internet, mrt); lab scenarios deliver one event per experiment
-    cell and ignore them.
+    cell and ignore them.  A *journal* receives heartbeat lines every
+    *heartbeat_every* observations (and *on_heartbeat*, if given, the
+    same payloads in-process).
+
+    When the metrics registry is enabled
+    (:func:`repro.obs.set_metrics_enabled`), the run starts from a
+    clean registry and memo-counter slate and the result carries a
+    ``metrics_report`` describing exactly this run.
     """
     spec.validate()
-    proxy = make_collectors(spec.collectors)
-    pump = _MetricsPump(
-        proxy, early_stop=early_stop, snapshot_every=snapshot_every
-    )
+    instrumented = obs_metrics.metrics_enabled()
+    if instrumented:
+        # One report == one run: never blend in a previous run's state.
+        obs_metrics.reset_metrics()
+        reset_memo_stats()
+    with obs_metrics.phase("scenario.setup"):
+        proxy = make_collectors(spec.collectors)
+        pump = _MetricsPump(
+            proxy,
+            early_stop=early_stop,
+            snapshot_every=snapshot_every,
+            journal=journal,
+            heartbeat_every=heartbeat_every,
+            on_heartbeat=on_heartbeat,
+        )
     stopped = False
     spill_paths: "Dict[str, str]" = {}
     reader_stats: "Dict[str, int]" = {}
@@ -153,18 +222,39 @@ def run_scenario(
         stopped = _run_mrt(spec, proxy, pump, reader_stats)
     else:
         stopped = _run_internet(spec, proxy, pump, spill_paths)
+    with obs_metrics.phase("scenario.analyze"):
+        metrics = proxy.finish()
+    report: dict = {}
+    if instrumented:
+        registry = obs_metrics.registry()
+        registry.count("scenario.observations", proxy.observed)
+        if reader_stats:
+            replay_seconds = registry.timer_seconds("phase.mrt.replay")
+            if replay_seconds > 0:
+                registry.gauge(
+                    "mrt.records_per_second",
+                    reader_stats.get("records", 0) / replay_seconds,
+                )
+        report = {
+            "phases": registry.phase_seconds(),
+            "memo": memo_stats(),
+        }
+        report.update(registry.report())
     return ScenarioResult(
         spec=spec,
         spec_hash=spec_hash(spec),
-        metrics=proxy.finish(),
+        metrics=metrics,
         snapshots=pump.snapshots,
         stopped_early=stopped,
         spill_paths=spill_paths,
         reader_stats=reader_stats,
+        metrics_report=report,
     )
 
 
-def run_scenario_json(spec_json: str) -> str:
+def run_scenario_json(
+    spec_json: str, journal_path: "Optional[str]" = None
+) -> str:
     """Worker entry point for the execution backends: JSON in, JSON out.
 
     Every backend — inline, thread pool, process pool — funnels sweep
@@ -174,8 +264,34 @@ def run_scenario_json(spec_json: str) -> str:
     into something checkable: identical spec text must yield
     byte-identical result text wherever it ran (the cross-backend
     determinism suite asserts exactly that).
+
+    Two consequences for observability:
+
+    * the returned JSON never carries a ``metrics_report`` — wall
+      times are volatile, and a worker's payload must not depend on
+      whether the coordinator happened to enable instrumentation;
+    * progress goes out-of-band instead, as heartbeat lines appended
+      to *journal_path* (the sweep runner points this at the cell's
+      journal next to the cache manifest).
     """
-    return result_to_json(run_scenario(spec_from_json(spec_json)))
+    spec = spec_from_json(spec_json)
+    journal: "Optional[RunJournal]" = None
+    if journal_path is not None:
+        journal = RunJournal(journal_path)
+        journal.write("start", name=spec.name)
+    try:
+        result = run_scenario(spec, journal=journal)
+    except BaseException as exc:
+        if journal is not None:
+            journal.write("fail", error=str(exc))
+            journal.close()
+        raise
+    result.metrics_report = {}
+    payload = result_to_json(result)
+    if journal is not None:
+        journal.write("finish", stopped_early=result.stopped_early)
+        journal.close()
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -187,14 +303,16 @@ def _run_lab(spec: ScenarioSpec, proxy: CollectorProxy) -> None:
 
     lab = spec.lab or LabSpec()
     proxy.start(ScenarioContext(spec))
-    for experiment in lab.experiments:
-        for vendor_name in lab.vendors:
-            result = run_experiment(
-                experiment,
-                profile_by_name(vendor_name),
-                mrai=lab.mrai,
-            )
-            proxy.observe_lab(result)
+    with obs_metrics.phase("lab.run"):
+        for experiment in lab.experiments:
+            for vendor_name in lab.vendors:
+                result = run_experiment(
+                    experiment,
+                    profile_by_name(vendor_name),
+                    mrai=lab.mrai,
+                )
+                proxy.observe_lab(result)
+                obs_metrics.count("lab.experiments")
 
 
 # ----------------------------------------------------------------------
@@ -220,12 +338,28 @@ def _run_internet(
     model.attach_collector_sink(ObservationStream(pump))
     stopped = False
     try:
-        model.build()
-        model.schedule_day()
-        model.run_day()
+        with obs_metrics.phase("internet.build"):
+            model.build()
+            model.schedule_day()
+        with obs_metrics.phase("internet.run"):
+            model.run_day()
     except PipelineStop:
         stopped = True
     day = model.simulated_day()
+    if obs_metrics.metrics_enabled():
+        # Post-run reads of counters the event loop keeps anyway —
+        # the hot path itself stays untouched.
+        queue = model.network.queue
+        messages = day.total_collected_messages()
+        obs_metrics.gauge("sim.events_processed", queue.processed)
+        obs_metrics.gauge("sim.peak_pending_events", queue.peak_pending)
+        obs_metrics.gauge("sim.collected_messages", messages)
+        if queue.processed:
+            # Batching effectiveness: archived messages per dispatched
+            # event — higher means delivery batching is doing its job.
+            obs_metrics.gauge(
+                "sim.messages_per_event", messages / queue.processed
+            )
     # Flush and close the archives: under mrt-spill the buffered tail
     # must reach disk before anyone replays the file, and the result
     # carries the paths so the round trip works from the CLI.
@@ -330,13 +464,14 @@ def _run_mrt(
     stopped = False
     with handle:
         try:
-            replay_mrt(
-                handle,
-                pump,
-                collector=section.collector,
-                tolerant=section.tolerant,
-                stats=reader_stats,
-            )
+            with obs_metrics.phase("mrt.replay"):
+                replay_mrt(
+                    handle,
+                    pump,
+                    collector=section.collector,
+                    tolerant=section.tolerant,
+                    stats=reader_stats,
+                )
         except PipelineStop:
             stopped = True
     return stopped

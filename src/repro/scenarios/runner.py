@@ -35,10 +35,12 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.obs.journal import cell_journal_path, journal_dir
 from repro.scenarios.backends import (
     ExecutionBackend,
     JobFailure,
     JobOutcome,
+    OutcomeHook,
     SweepJob,
     make_backend,
 )
@@ -64,8 +66,14 @@ from repro.scenarios.spec import ScenarioSpec
 CACHE_VERSION = "v2"
 
 #: Manifest filename inside the cache dir, and its schema version.
+#: Note: per-cell ``attempts``/``started_at``/``finished_at`` keys were
+#: added without a version bump — they are purely additive, readers
+#: ``.get`` them, and old manifests must keep resuming as-is.
 MANIFEST_NAME = "sweep.json"
 MANIFEST_VERSION = "v1"
+
+#: Additive per-cell bookkeeping keys carried by the manifest.
+_TIMING_KEYS = ("attempts", "started_at", "finished_at")
 
 
 def expand_seeds(
@@ -115,10 +123,45 @@ class SweepReport:
     #: here, expected to arrive in the shared cache from cooperating
     #: invocations.
     skipped: int = 0
+    #: digest -> worker-measured wall seconds, for cells computed this
+    #: invocation (cache hits cost no wall time and are absent).
+    cell_wall_seconds: "Dict[str, float]" = field(default_factory=dict)
+    #: digest -> attempts the worker made (retried cells show > 1).
+    cell_attempts: "Dict[str, int]" = field(default_factory=dict)
 
     def by_name(self) -> "Dict[str, ScenarioResult]":
         """Results keyed by scenario name."""
         return {result.name: result for result in self.results}
+
+    def total_cell_seconds(self) -> float:
+        """Summed worker wall time across computed cells.
+
+        Compare against :attr:`elapsed_seconds` to see parallel
+        speedup: with N busy workers the ratio approaches N.
+        """
+        return sum(self.cell_wall_seconds.values())
+
+    def cell_seconds_percentile(self, fraction: float) -> "Optional[float]":
+        """Nearest-rank percentile of per-cell wall times.
+
+        ``fraction`` is in [0, 1]; e.g. ``0.5`` for the median cell,
+        ``1.0`` for the slowest.  ``None`` when nothing was computed.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in [0, 1], got {fraction!r}"
+            )
+        values = sorted(self.cell_wall_seconds.values())
+        if not values:
+            return None
+        rank = min(len(values) - 1, int(fraction * len(values)))
+        return values[rank]
+
+    def retried_cells(self) -> int:
+        """How many computed cells needed more than one attempt."""
+        return sum(
+            1 for attempts in self.cell_attempts.values() if attempts > 1
+        )
 
     def raise_failures(self) -> None:
         """Raise :class:`SweepFailureError` if any cell failed.
@@ -207,6 +250,15 @@ class SweepManifest:
                     ours["failure"] = cell["failure"]
                 elif cell["state"] == "done":
                     ours.pop("failure", None)
+                for key in _TIMING_KEYS:
+                    if key in cell:
+                        ours[key] = cell[key]
+            else:
+                # Equal or behind on state: still adopt timing we lack
+                # (another shard computed the cell; we only cached it).
+                for key in _TIMING_KEYS:
+                    if key in cell and key not in ours:
+                        ours[key] = cell[key]
 
     def save(self) -> None:
         """Atomically checkpoint the manifest to disk (merge-safe)."""
@@ -252,7 +304,15 @@ class SweepManifest:
         digest: str,
         state: str,
         failure: "Optional[JobFailure]" = None,
+        *,
+        attempts: "Optional[int]" = None,
+        started_at: "Optional[float]" = None,
+        finished_at: "Optional[float]" = None,
     ) -> None:
+        """Advance a cell's state, optionally recording execution
+        bookkeeping (attempt count and worker-measured wall-clock
+        bounds).  Old manifests without these keys load fine — they
+        are additive and every reader uses ``.get``."""
         cell = self.cells.get(digest)
         if cell is None:
             return
@@ -261,6 +321,12 @@ class SweepManifest:
             cell["failure"] = failure_to_dict(failure)
         else:
             cell.pop("failure", None)
+        if attempts is not None:
+            cell["attempts"] = attempts
+        if started_at is not None:
+            cell["started_at"] = started_at
+        if finished_at is not None:
+            cell["finished_at"] = finished_at
 
     def specs(self) -> "List[ScenarioSpec]":
         """Every recorded cell's spec, in stable (name, hash) order."""
@@ -296,6 +362,7 @@ class SweepRunner:
         cache_dir: "Optional[str]" = None,
         backend: "ExecutionBackend | str | None" = None,
         max_retries: int = 0,
+        on_outcome: "Optional[OutcomeHook]" = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
@@ -307,6 +374,9 @@ class SweepRunner:
         self.cache_dir = cache_dir
         self.backend = make_backend(backend)
         self.max_retries = max_retries
+        #: Observer fired per computed cell, after the cache/manifest
+        #: checkpoint — the CLI's ``--progress`` stream hangs off it.
+        self.on_outcome = on_outcome
 
     # ------------------------------------------------------------------
     # cache
@@ -378,11 +448,19 @@ class SweepRunner:
         unique_pending: "Dict[str, int]" = {}
         for index in pending:
             unique_pending.setdefault(digests[index], index)
+        journals = self.cache_dir is not None
+        if journals and unique_pending:
+            os.makedirs(journal_dir(self.cache_dir), exist_ok=True)
         jobs = [
             SweepJob(
                 digest=digest,
                 name=specs[index].name,
                 spec_json=spec_to_json(specs[index], indent=None),
+                journal_path=(
+                    cell_journal_path(self.cache_dir, digest)
+                    if journals
+                    else None
+                ),
             )
             for digest, index in unique_pending.items()
         ]
@@ -395,17 +473,27 @@ class SweepRunner:
             # cache file per cell is the durable record; the manifest
             # checkpoint is throttled on top of it).
             digest = outcome.job.digest
+            report.cell_attempts[digest] = outcome.attempts
+            if outcome.wall_seconds is not None:
+                report.cell_wall_seconds[digest] = outcome.wall_seconds
+            timing = dict(
+                attempts=outcome.attempts,
+                started_at=outcome.started_at,
+                finished_at=outcome.finished_at,
+            )
             if outcome.ok:
                 self._cache_store(digest, outcome.result_json)
                 computed[digest] = result_from_json(outcome.result_json)
                 if manifest is not None:
-                    manifest.mark(digest, "done")
+                    manifest.mark(digest, "done", **timing)
             else:
                 report.failures.append(outcome.failure)
                 if manifest is not None:
-                    manifest.mark(digest, "failed", outcome.failure)
+                    manifest.mark(digest, "failed", outcome.failure, **timing)
             if manifest is not None:
                 manifest.maybe_save()
+            if self.on_outcome is not None:
+                self.on_outcome(outcome)
 
         outcomes = self.backend.run_jobs(
             jobs,
@@ -431,6 +519,7 @@ def run_sweep(
     cache_dir: "Optional[str]" = None,
     backend: "ExecutionBackend | str | None" = None,
     max_retries: int = 0,
+    on_outcome: "Optional[OutcomeHook]" = None,
 ) -> SweepReport:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
@@ -438,6 +527,7 @@ def run_sweep(
         cache_dir=cache_dir,
         backend=backend,
         max_retries=max_retries,
+        on_outcome=on_outcome,
     ).run(specs)
 
 
@@ -447,6 +537,7 @@ def resume_sweep(
     workers: "Optional[int]" = None,
     backend: "ExecutionBackend | str | None" = None,
     max_retries: int = 0,
+    on_outcome: "Optional[OutcomeHook]" = None,
 ) -> SweepReport:
     """Finish a sweep recorded in *cache_dir*'s manifest.
 
@@ -468,4 +559,5 @@ def resume_sweep(
         cache_dir=cache_dir,
         backend=backend,
         max_retries=max_retries,
+        on_outcome=on_outcome,
     ).run(manifest.specs())
