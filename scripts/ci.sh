@@ -7,6 +7,25 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static analysis =="
+# The contract linter gates the tree before any test runs: determinism
+# (DET001/DET002), hot-path instrumentation gating (OBS001), CLI stdout
+# discipline (IO001), cache schema versioning (CACHE001) and bounded
+# memos (MEMO001).  Exit 1 here means a contract violation — fix it or
+# add a reasoned `# repro: allow(CODE) reason` waiver, don't baseline.
+python -m repro check src
+# The shipped baseline must stay empty: all grandfathering happens as
+# in-line reasoned waivers, never as silent bulk entries.
+python -c '
+import json
+baseline = json.load(open(".repro-check-baseline.json"))
+assert baseline["findings"] == [], (
+    "the shipped baseline must stay empty; use reasoned in-line"
+    " waivers instead: %r" % (baseline["findings"],)
+)
+'
+
+echo
 echo "== tier 1: test suite =="
 python -m pytest -x -q
 

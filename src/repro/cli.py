@@ -9,7 +9,16 @@ Four subcommands mirror the ways people use the library:
   measurement day and print Table 1 + Table 2;
 * ``repro scenario list|run|sweep`` — the declarative scenario engine:
   browse the registry, run one named scenario (or a JSON spec file),
-  or run a multi-seed sweep in parallel with result caching.
+  or run a multi-seed sweep in parallel with result caching;
+* ``repro check`` — the contract linter (``src/repro/devtools/``):
+  static analysis enforcing the determinism, hot-path and
+  output-discipline invariants.
+
+Output discipline (enforced by ``repro check``'s IO001): stdout
+belongs to the designated emitters — :func:`_emit` for human tables,
+:func:`_emit_json` for machine JSON — so a ``--json`` run's stdout is
+always one parseable document; everything diagnostic says
+``file=sys.stderr``.
 
 Runs as ``repro`` (console script), ``python -m repro`` or
 ``python -m repro.cli``.
@@ -30,6 +39,29 @@ from repro.analysis import (
 )
 from repro.reports import format_share, render_kv_table, render_table
 from repro.vendors import ALL_PROFILES, profile_by_name
+
+
+def _emit(*values, sep: str = " ", end: str = "\n") -> None:
+    """The designated human-output stdout emitter.
+
+    Every non-JSON stdout write in this module routes through here,
+    so "what can write to stdout" is two grep-able functions instead
+    of every call site (IO001 in :mod:`repro.devtools`).
+    """
+    print(*values, sep=sep, end=end)
+
+
+def _emit_json(document) -> None:
+    """The designated machine-JSON stdout emitter.
+
+    Accepts a pre-serialized JSON string or a JSON-able payload; a
+    ``--json`` run's stdout is exactly one document emitted here.
+    """
+    import json
+
+    if not isinstance(document, str):
+        document = json.dumps(document, indent=2, sort_keys=True)
+    print(document)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -234,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print one line to stderr as each cell completes",
     )
+
+    from repro.devtools.cli import add_check_parser
+
+    add_check_parser(subparsers)
     return parser
 
 
@@ -247,6 +283,10 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
             return _run_classify(arguments)
         if arguments.command == "scenario":
             return _run_scenario_command(arguments)
+        if arguments.command == "check":
+            from repro.devtools.cli import run_check_command
+
+            return run_check_command(arguments)
         return _run_simulate(arguments)
     except BrokenPipeError:
         # Piping into `head` closes stdout early; exit quietly instead
@@ -268,7 +308,7 @@ def _run_lab(arguments) -> int:
     else:
         vendors = ALL_PROFILES
     results = run_all_experiments(vendors)
-    print(
+    _emit(
         render_table(
             ("exp", "vendor", "Y1->X1", "collector", "behavior"),
             (result.summary_row() for result in results),
@@ -332,7 +372,7 @@ def _scenario_list(arguments) -> int:
         for spec in all_scenarios()
         if arguments.kind is None or spec.kind == arguments.kind
     ]
-    print(
+    _emit(
         render_table(
             ("name", "kind", "seed", "description"),
             rows,
@@ -448,22 +488,22 @@ def _scenario_run(arguments) -> int:
             )
             handle.write("\n")
     if arguments.json:
-        print(result_to_json(result, indent=2))
+        _emit_json(result_to_json(result, indent=2))
         return 0
-    print(
+    _emit(
         f"scenario {result.name} [{spec.kind}]"
         f" seed={spec.seed} hash={result.spec_hash}"
     )
     _print_scenario_metrics(result)
     stats = result.reader_stats
     if stats:
-        print(
+        _emit(
             f"\nmrt reader: {stats.get('records', 0)} records decoded,"
             f" {stats.get('skipped_records', 0)} skipped (unmodeled"
             f" type), {stats.get('error_records', 0)} damaged-dropped"
         )
     for name, path in sorted(result.spill_paths.items()):
-        print(f"\nspilled archive [{name}]: {path}")
+        _emit(f"\nspilled archive [{name}]: {path}")
     if result.metrics_report:
         _print_metrics_report(result.metrics_report)
     return 0
@@ -474,8 +514,8 @@ def _print_metrics_report(report: dict) -> None:
     phases = report.get("phases", {})
     if phases:
         rows = [(name, f"{seconds:.3f}s") for name, seconds in phases.items()]
-        print()
-        print(render_table(("phase", "wall"), rows, title="Phase timing"))
+        _emit()
+        _emit(render_table(("phase", "wall"), rows, title="Phase timing"))
     counters = report.get("counters", {})
     gauges = report.get("gauges", {})
     if counters or gauges:
@@ -483,8 +523,8 @@ def _print_metrics_report(report: dict) -> None:
             (name, _format_metric_value(value))
             for name, value in list(counters.items()) + list(gauges.items())
         ]
-        print()
-        print(render_kv_table(rows, title="Instrumentation"))
+        _emit()
+        _emit(render_kv_table(rows, title="Instrumentation"))
     memo = report.get("memo", {})
     busy = {
         name: stats
@@ -502,8 +542,8 @@ def _print_metrics_report(report: dict) -> None:
             )
             for name, stats in sorted(busy.items())
         ]
-        print()
-        print(
+        _emit()
+        _emit(
             render_table(
                 ("memo", "hits", "misses", "evictions", "hit rate"),
                 rows,
@@ -623,20 +663,20 @@ def _scenario_sweep(arguments) -> int:
         payload = [
             json.loads(result_to_json(result)) for result in report.results
         ]
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        _emit_json(payload)
         return 1 if report.failures else 0
     rows = [
         (result.name, result.spec_hash, _sweep_summary(result))
         for result in report.results
     ]
-    print(
+    _emit(
         render_table(
             ("scenario", "spec hash", "summary"),
             rows,
             title=f"{title}, {report.workers} worker(s)",
         )
     )
-    print(
+    _emit(
         f"cache: {report.cache_hits} hit(s), {report.cache_misses}"
         f" miss(es); backend {report.backend};"
         f" wall-clock {report.elapsed_seconds:.2f}s"
@@ -644,13 +684,13 @@ def _scenario_sweep(arguments) -> int:
     if report.cell_wall_seconds:
         median = report.cell_seconds_percentile(0.5)
         slowest = report.cell_seconds_percentile(1.0)
-        print(
+        _emit(
             f"cells: {report.total_cell_seconds():.2f}s compute total;"
             f" median {median:.2f}s, slowest {slowest:.2f}s;"
             f" {report.retried_cells()} retried"
         )
     if report.skipped:
-        print(
+        _emit(
             f"sharded: {report.skipped} cell(s) left to other shards"
             f" (shared cache converges once every shard has run)"
         )
@@ -664,7 +704,7 @@ def _scenario_sweep(arguments) -> int:
             advice = (
                 "rerun with --cache-dir to make the sweep resumable"
             )
-        print(f"{len(report.failures)} cell(s) failed; {advice}")
+        _emit(f"{len(report.failures)} cell(s) failed; {advice}")
         return 1
     return 0
 
@@ -692,7 +732,7 @@ def _scenario_sweep_status(arguments) -> int:
         return 2
     if arguments.json:
         # Machine payload on stdout, like every other --json mode.
-        print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
+        _emit_json(status.as_dict())
     else:
         # Status is a monitoring view: keep it on stderr so watching a
         # sweep never contaminates stdout captures/pipes.
@@ -721,9 +761,9 @@ def _print_scenario_metrics(result) -> None:
     """Render each collector's metrics as paper-shaped tables."""
     for name in result.spec.collectors:
         metrics = result.metrics.get(name, {})
-        print()
+        _emit()
         if name == "lab_matrix":
-            print(
+            _emit(
                 render_table(
                     metrics["headers"],
                     metrics["rows"],
@@ -736,7 +776,7 @@ def _print_scenario_metrics(result) -> None:
                 (code, format_share(share))
                 for code, share in metrics["full_shares"].items()
             ]
-            print(
+            _emit(
                 render_table(
                     ("type", "share"),
                     rows,
@@ -748,7 +788,7 @@ def _print_scenario_metrics(result) -> None:
                     (code, format_share(share))
                     for code, share in metrics["beacon_shares"].items()
                 ]
-                print(
+                _emit(
                     render_table(
                         ("type", "share"),
                         beacon_rows,
@@ -768,7 +808,7 @@ def _print_scenario_metrics(result) -> None:
                     for sub, item in value.items()
                     if not isinstance(item, (dict, list))
                 )
-        print(render_kv_table(rows, title=f"Collector: {name}"))
+        _emit(render_kv_table(rows, title=f"Collector: {name}"))
 
 
 def _format_metric_value(value) -> str:
@@ -783,8 +823,8 @@ def _format_metric_value(value) -> str:
 
 def _print_day_tables(observations, *, beacons=None) -> None:
     table1 = build_table1(observations)
-    print(render_kv_table(table1.as_rows(), title="Table 1: overview"))
-    print()
+    _emit(render_kv_table(table1.as_rows(), title="Table 1: overview"))
+    _emit()
     table2 = build_table2(observations, beacons)
     rows = [
         (
@@ -795,7 +835,7 @@ def _print_day_tables(observations, *, beacons=None) -> None:
         )
         for code, description, full, beacon in table2.as_rows()
     ]
-    print(
+    _emit(
         render_table(
             ("type", "observed changes", "share", "beacons"),
             rows,

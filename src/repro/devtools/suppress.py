@@ -1,0 +1,343 @@
+"""Suppression comments and the grandfathering baseline.
+
+Two escape hatches keep the linter adoptable without weakening it:
+
+* ``# repro: allow(CODE) reason`` — a *reasoned*, per-line waiver.
+  The reason is mandatory: a suppression is a reviewed decision, and
+  the decision's justification belongs next to the code it waives.
+  A suppression on its own comment line covers the next source line;
+  a trailing comment covers its own line.  Multiple codes separate
+  with commas: ``# repro: allow(DET001,DET002) <reason>``.
+* the **baseline file** (``.repro-check-baseline.json``) — bulk
+  grandfathering for adopting the linter on a tree with pre-existing
+  findings.  Entries match on (code, path, stripped line text), not
+  line numbers, so unrelated edits never resurrect a grandfathered
+  finding.  The shipped tree keeps this file empty — CI asserts it —
+  so the baseline is a migration tool, not a loophole.
+
+Malformed suppressions (missing reason, unknown code, bad syntax) are
+themselves findings (``SUP001``): a waiver that silently fails open
+or silently fails closed is worse than no waiver at all.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.devtools.findings import Finding
+
+#: The suppression marker, anchored to the start of the comment so a
+#: prose mention of the syntax deeper in a comment is not a directive.
+_DIRECTIVE_RE = re.compile(r"^#+\s*repro:")
+_ALLOW_RE = re.compile(
+    r"^#+\s*repro:\s*allow\(\s*(?P<codes>[^)]*)\)\s*(?P<reason>.*)$"
+)
+
+#: A valid checker code: letters then digits (DET001, MEMO001, ...).
+_CODE_RE = re.compile(r"^[A-Z]{2,8}[0-9]{3}$")
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-check-baseline.json"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow(...)`` comment."""
+
+    #: Line the comment sits on (1-based).
+    comment_line: int
+    #: Line the waiver applies to (the same line for trailing
+    #: comments, the next source line for standalone comment lines).
+    target_line: int
+    codes: "Tuple[str, ...]"
+    reason: str
+    #: Set when a finding actually used this waiver (unused
+    #: suppressions are reported so stale waivers get cleaned up).
+    used: bool = field(default=False, compare=False)
+
+
+def _iter_comments(source: str) -> "Iterable[Tuple[int, int, str]]":
+    """Yield ``(line, col, text)`` for every comment in *source*.
+
+    Tokenizing (rather than regexing raw lines) is what keeps a
+    ``# repro:`` mention inside a docstring or string literal — this
+    module's own documentation, say — from reading as a directive.
+    Tokenization runs on a best-effort basis: when it dies partway
+    (the SYN001 case), whatever comments it produced before the error
+    still count, so waivers keep working in a broken file.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def parse_suppressions(
+    source: str, known_codes: "Set[str]", path: str
+) -> "Tuple[List[Suppression], List[Finding]]":
+    """Extract suppressions (and SUP001 findings) from *source*."""
+    suppressions: "List[Suppression]" = []
+    problems: "List[Finding]" = []
+    lines = source.splitlines()
+    for index, col, raw in _iter_comments(source):
+        if _DIRECTIVE_RE.match(raw) is None:
+            continue
+        match = _ALLOW_RE.match(raw)
+        if match is None:
+            # Any other "# repro:" comment is a typo'd directive — e.g.
+            # ``# repro: allow DET001`` — which would otherwise fail
+            # open (no waiver) while looking like one in review.
+            problems.append(
+                Finding(
+                    code="SUP001",
+                    path=path,
+                    line=index,
+                    col=col,
+                    message=(
+                        "unrecognized '# repro:' directive; the"
+                        " only form is"
+                        " '# repro: allow(CODE[,CODE]) reason'"
+                    ),
+                    line_text=_line_text(lines, index),
+                )
+            )
+            continue
+        codes = tuple(
+            part.strip() for part in match.group("codes").split(",")
+            if part.strip()
+        )
+        reason = match.group("reason").strip()
+        bad = [code for code in codes if not _CODE_RE.match(code)]
+        if not codes or bad:
+            problems.append(
+                Finding(
+                    code="SUP001",
+                    path=path,
+                    line=index,
+                    col=col,
+                    message=(
+                        f"malformed suppression codes {bad or '()'};"
+                        " expected e.g. allow(DET001) or"
+                        " allow(DET001,MEMO001)"
+                    ),
+                    line_text=_line_text(lines, index),
+                )
+            )
+            continue
+        unknown = [code for code in codes if code not in known_codes]
+        if unknown:
+            problems.append(
+                Finding(
+                    code="SUP001",
+                    path=path,
+                    line=index,
+                    col=col,
+                    message=(
+                        f"suppression names unknown code(s)"
+                        f" {', '.join(unknown)}; run 'repro check"
+                        " --explain CODE' for the catalog"
+                    ),
+                    line_text=_line_text(lines, index),
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                Finding(
+                    code="SUP001",
+                    path=path,
+                    line=index,
+                    col=col,
+                    message=(
+                        f"suppression of {','.join(codes)} has no"
+                        " reason; a waiver must say why the contract"
+                        " does not apply here"
+                    ),
+                    line_text=_line_text(lines, index),
+                )
+            )
+            continue
+        # A comment with only whitespace before it is a standalone
+        # waiver line covering the next source line; a trailing
+        # comment covers its own.
+        before = lines[index - 1][:col] if index <= len(lines) else ""
+        if before.strip():
+            target = index
+        else:
+            target = _next_source_line(lines, index)
+        suppressions.append(
+            Suppression(
+                comment_line=index,
+                target_line=target,
+                codes=codes,
+                reason=reason,
+            )
+        )
+    return suppressions, problems
+
+
+def _line_text(lines: "List[str]", index: int) -> str:
+    if 1 <= index <= len(lines):
+        return lines[index - 1].strip()
+    return ""
+
+
+def _next_source_line(lines: "List[str]", comment_index: int) -> int:
+    """First non-blank, non-comment line after a standalone waiver."""
+    for index in range(comment_index + 1, len(lines) + 1):
+        text = lines[index - 1].strip()
+        if text and not text.startswith("#"):
+            return index
+    return comment_index
+
+
+def apply_suppressions(
+    findings: "Iterable[Finding]",
+    suppressions: "Sequence[Suppression]",
+) -> "Tuple[List[Finding], int]":
+    """Drop findings waived by *suppressions*; returns (kept, dropped).
+
+    SUP001 never suppresses itself: a malformed waiver cannot be
+    waved away by the comment that is malformed.
+    """
+    by_line: "Dict[int, List[Suppression]]" = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.target_line, []).append(suppression)
+    kept: "List[Finding]" = []
+    dropped = 0
+    for finding in findings:
+        waiver = None
+        if finding.code != "SUP001":
+            for candidate in by_line.get(finding.line, ()):
+                if finding.code in candidate.codes:
+                    waiver = candidate
+                    break
+        if waiver is None:
+            kept.append(finding)
+        else:
+            waiver.used = True
+            dropped += 1
+    return kept, dropped
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+class BaselineError(ValueError):
+    """The baseline file exists but is not a valid baseline."""
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, keyed line-number-free."""
+
+    #: (code, path, stripped line text) -> allowed occurrence count.
+    entries: "Dict[Tuple[str, str, str], int]" = field(
+        default_factory=dict
+    )
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def as_dict(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "code": code,
+                    "path": path,
+                    "line_text": line_text,
+                    "count": count,
+                }
+                for (code, path, line_text), count in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+
+
+def empty_baseline() -> Baseline:
+    return Baseline()
+
+
+def baseline_from_findings(findings: "Iterable[Finding]") -> Baseline:
+    entries: "Dict[Tuple[str, str, str], int]" = {}
+    for finding in findings:
+        key = finding.anchor()
+        entries[key] = entries.get(key, 0) + 1
+    return Baseline(entries)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; raises :class:`BaselineError` on damage."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"cannot open baseline {path}: {exc}")
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not JSON: {exc}")
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    version = data.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has version {version!r};"
+            f" this tool reads version {BASELINE_VERSION}"
+        )
+    entries: "Dict[Tuple[str, str, str], int]" = {}
+    for item in data["findings"]:
+        if not isinstance(item, dict):
+            raise BaselineError(
+                f"baseline {path}: entries must be objects, got {item!r}"
+            )
+        try:
+            key = (
+                str(item["code"]),
+                str(item["path"]),
+                str(item["line_text"]),
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path}: entry missing key {exc}"
+            )
+        entries[key] = entries.get(key, 0) + int(item.get("count", 1))
+    return Baseline(entries)
+
+
+def save_baseline(baseline: Baseline, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: "Iterable[Finding]", baseline: Baseline
+) -> "Tuple[List[Finding], int]":
+    """Drop up to ``count`` occurrences of each grandfathered anchor."""
+    budget = dict(baseline.entries)
+    kept: "List[Finding]" = []
+    dropped = 0
+    for finding in findings:
+        key = finding.anchor()
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped

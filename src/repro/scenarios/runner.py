@@ -65,6 +65,16 @@ from repro.scenarios.spec import ScenarioSpec
 #: replay byte-different from a fresh computation.
 CACHE_VERSION = "v2"
 
+#: Static fingerprint of the serialized result schema — the payload
+#: keys of ``result_to_dict``/``failure_to_dict`` plus the
+#: ``ScenarioResult``/``SweepReport`` field sets — recorded here so
+#: the contract linter (``repro check``, CACHE001) fails whenever the
+#: schema moves without anyone looking at these two constants
+#: together.  When that check fires: decide whether replayed bytes
+#: change, bump :data:`CACHE_VERSION` if they do, and paste the
+#: computed value from the finding message here.
+CACHE_SCHEMA_FINGERPRINT = "1661e2e1e70e"
+
 #: Manifest filename inside the cache dir, and its schema version.
 #: Note: per-cell ``attempts``/``started_at``/``finished_at`` keys were
 #: added without a version bump — they are purely additive, readers

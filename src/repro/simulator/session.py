@@ -66,7 +66,10 @@ class BGPSession:
         self._address_b = address_b or f"10.{self.session_id >> 8}.{self.session_id & 0xFF}.2"
         self.established = True
         #: Per-direction earliest next advertisement time (MRAI state),
-        #: keyed by the sending node.
+        #: keyed by the sending node.  The keys are looked up, never
+        #: iterated or serialized, so the process-local values cannot
+        #: reach collector output.
+        # repro: allow(DET001) id() keys transient per-endpoint state; endpoints outlive the session and the dict is never iterated or persisted
         self._next_send_allowed = {id(node_a): 0.0, id(node_b): 0.0}
         #: Packet-capture hooks: callables ``(time, sender, message)``
         #: invoked for every message put on the wire.  The lab
@@ -146,6 +149,7 @@ class BGPSession:
             )
             return True
         fire_at = queue.now + self.delay
+        # repro: allow(DET001) id() is the open-batch key for one receiver; batches are drained by the same key and never ordered or output
         key = id(receiver)
         batch = self._open_batches.get(key)
         if batch is not None and batch.fire_at == fire_at:
@@ -180,12 +184,14 @@ class BGPSession:
         """Seconds *sender* must still wait before advertising (0 = now)."""
         if self.mrai <= 0:
             return 0.0
+        # repro: allow(DET001) id() mirrors the constructor's MRAI-state key; lookup only, never iterated or persisted
         allowed_at = self._next_send_allowed[id(sender)]
         return max(0.0, allowed_at - self._network.queue.now)
 
     def mark_advertisement(self, sender) -> None:
         """Start *sender*'s MRAI window after an advertisement batch."""
         if self.mrai > 0:
+            # repro: allow(DET001) id() mirrors the constructor's MRAI-state key; lookup only, never iterated or persisted
             self._next_send_allowed[id(sender)] = (
                 self._network.queue.now + self.mrai
             )

@@ -1,0 +1,257 @@
+"""Suppression directives and baseline round-trips."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    apply_baseline,
+    baseline_from_findings,
+    check_source,
+    empty_baseline,
+    load_baseline,
+    run_check,
+    save_baseline,
+)
+
+
+def _check(source, rel, select=None):
+    return check_source(textwrap.dedent(source), rel, select=select)
+
+
+_HASH_SNIPPET = """
+def tie_break(route):
+    return hash(route)  # repro: allow(DET001) ordering is re-sorted downstream
+"""
+
+_HASH_STANDALONE = """
+def tie_break(route):
+    # repro: allow(DET001) ordering is re-sorted downstream
+    return hash(route)
+"""
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_own_line(self):
+        report = _check(_HASH_SNIPPET, "rib/decision.py")
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_standalone_comment_covers_next_line(self):
+        report = _check(_HASH_STANDALONE, "rib/decision.py")
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_standalone_comment_does_not_leak_past_next_line(self):
+        report = _check(
+            """
+            def tie_break(route):
+                # repro: allow(DET001) first call only
+                first = hash(route)
+                second = hash(route)
+                return first + second
+            """,
+            "rib/decision.py",
+        )
+        assert [f.code for f in report.findings] == ["DET001"]
+        assert report.suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        report = _check(
+            """
+            def tie_break(route):
+                return hash(route)  # repro: allow(DET002) wrong code
+            """,
+            "rib/decision.py",
+        )
+        assert [f.code for f in report.findings] == ["DET001"]
+
+    def test_multiple_codes_in_one_directive(self):
+        report = _check(
+            """
+            import time
+
+            def stamp(route):
+                # repro: allow(DET001, DET002) display-only diagnostic string
+                return f"{hash(route)}@{time.time()}"
+            """,
+            "analysis/tables.py",
+        )
+        assert report.clean
+        assert report.suppressed == 2
+
+    def test_missing_reason_is_sup001(self):
+        report = _check(
+            """
+            def tie_break(route):
+                return hash(route)  # repro: allow(DET001)
+            """,
+            "rib/decision.py",
+        )
+        codes = sorted(f.code for f in report.findings)
+        # The directive is rejected, so DET001 also survives.
+        assert codes == ["DET001", "SUP001"]
+
+    def test_unknown_code_is_sup001(self):
+        report = _check(
+            """
+            x = 1  # repro: allow(NOPE123) not a real code
+            """,
+            "analysis/tables.py",
+        )
+        assert [f.code for f in report.findings] == ["SUP001"]
+        assert "NOPE123" in report.findings[0].message
+
+    def test_malformed_directive_is_sup001(self):
+        report = _check(
+            """
+            x = 1  # repro: allow DET001 forgot the parens
+            """,
+            "analysis/tables.py",
+        )
+        assert [f.code for f in report.findings] == ["SUP001"]
+
+    def test_sup001_cannot_self_suppress(self):
+        report = _check(
+            """
+            # repro: allow(SUP001) trying to waive the waiver checker
+            x = 1  # repro: allow(BOGUS999) bad
+            """,
+            "analysis/tables.py",
+        )
+        codes = [f.code for f in report.findings]
+        assert "SUP001" in codes
+
+    def test_prose_mention_is_not_a_directive(self):
+        report = _check(
+            '''
+            """Docs may say ``# repro: allow(DET001) reason`` freely."""
+
+            # The syntax is `# repro: allow(CODE) reason`, documented here.
+            x = 1
+            ''',
+            "analysis/tables.py",
+        )
+        assert report.clean
+        assert report.suppressed == 0
+
+    def test_unused_suppression_does_not_count(self):
+        report = _check(
+            """
+            # repro: allow(DET001) nothing on the next line triggers this
+            x = 1
+            """,
+            "analysis/tables.py",
+        )
+        assert report.clean
+        assert report.suppressed == 0
+
+
+class TestBaseline:
+    def _findings(self):
+        report = _check(
+            """
+            def tie_break(route):
+                return hash(route)
+            """,
+            "rib/decision.py",
+        )
+        assert not report.clean
+        return report.findings
+
+    def test_round_trip(self, tmp_path):
+        findings = self._findings()
+        baseline = baseline_from_findings(findings)
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        save_baseline(baseline, str(path))
+        loaded = load_baseline(str(path))
+        remaining, baselined = apply_baseline(findings, loaded)
+        assert remaining == []
+        assert baselined == len(findings)
+
+    def test_baseline_is_line_number_free(self, tmp_path):
+        findings = self._findings()
+        baseline = baseline_from_findings(findings)
+        # Same code on a different line (file grew above it) still
+        # matches its grandfathered entry.
+        moved = _check(
+            """
+            import zlib
+
+
+            def other(route):
+                return zlib.crc32(repr(route).encode())
+
+
+            def tie_break(route):
+                return hash(route)
+            """,
+            "rib/decision.py",
+        )
+        remaining, baselined = apply_baseline(moved.findings, baseline)
+        assert remaining == []
+        assert baselined == 1
+
+    def test_occurrence_counts_cap_matches(self):
+        findings = self._findings()
+        baseline = baseline_from_findings(findings)
+        doubled = _check(
+            """
+            def tie_break(route):
+                return hash(route)
+
+            def tie_break_again(route):
+                return hash(route)
+            """,
+            "rib/decision.py",
+        )
+        remaining, baselined = apply_baseline(doubled.findings, baseline)
+        # Only one occurrence was grandfathered; the new one surfaces.
+        assert baselined == 1
+        assert len(remaining) == 1
+
+    def test_empty_baseline_shape(self, tmp_path):
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        save_baseline(empty_baseline(), str(path))
+        document = json.loads(path.read_text())
+        assert document == {"findings": [], "version": 1}
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        path.write_text("not json")
+        with pytest.raises(BaselineError):
+            load_baseline(str(path))
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        path.write_text(json.dumps({"findings": [], "version": 99}))
+        with pytest.raises(BaselineError):
+            load_baseline(str(path))
+
+
+class TestRunCheckOnDisk:
+    def test_scans_directory_and_honors_baseline(self, tmp_path):
+        package = tmp_path / "repro" / "rib"
+        package.mkdir(parents=True)
+        bad = package / "decision.py"
+        bad.write_text("def f(route):\n    return hash(route)\n")
+        report = run_check([str(tmp_path)])
+        assert [f.code for f in report.findings] == ["DET001"]
+
+        baseline = baseline_from_findings(report.findings)
+        baseline_path = tmp_path / DEFAULT_BASELINE_NAME
+        save_baseline(baseline, str(baseline_path))
+        rerun = run_check(
+            [str(tmp_path)], baseline=load_baseline(str(baseline_path))
+        )
+        assert rerun.clean
+        assert rerun.baselined == 1
+
+    def test_missing_path_raises(self):
+        from repro.devtools import UsageError
+
+        with pytest.raises(UsageError):
+            run_check(["definitely/not/here"])
