@@ -24,15 +24,33 @@ memo caches on and off — and the classification counts, record counts
 and a fingerprint over every re-encoded record must be bit-identical,
 proving the interning caches are a pure optimization.
 
+Since the parallel sharded decode landed, every run additionally
+verifies the sharded path: classifier state + reader stats must
+fingerprint identically to the serial pass at every requested worker
+count with zero ``mrt.shard.fallback`` ticks, and a worker-count
+scaling curve (``parallel_decode_classify_obs_per_sec``) is recorded
+next to the serial rates, together with the box's ``cpu_count`` so a
+flat curve on a small machine reads as hardware, not regression.
+
 Usage::
 
     python benchmarks/bench_analysis.py            # both rungs, repeat 3
     python benchmarks/bench_analysis.py --quick    # smallest rung, 1 repeat
+    python benchmarks/bench_analysis.py --verify   # correctness only
     python benchmarks/bench_analysis.py --min-throughput-ratio 1.0
 
 ``--min-throughput-ratio R`` fails the run unless the measured
 decode+classify rate reaches ``R x`` the recorded pre-overhaul
-baseline in ``BENCH_analysis.json`` (CI runs the quick rung this way).
+baseline in ``BENCH_analysis.json`` (CI runs the quick rung this way,
+with ``--workers 2`` pinning the sharded-vs-serial verify).
+``--verify`` runs only the equivalence checks — fast-vs-naive and
+sharded-vs-serial at every ``--workers`` count — and writes nothing.
+
+The amplified archives are cached under ``--archive-cache`` (default:
+a ``repro-bench-archives`` dir in the system temp dir), keyed by
+(spill scenario spec hash, amplification factor) and validated by
+size+sha256 on every hit, so repeated quick runs stop paying the
+spill cost; ``--refresh-archives`` forces regeneration.
 """
 
 from __future__ import annotations
@@ -58,8 +76,10 @@ from repro.bgp.wire import encode_message  # noqa: E402
 from repro.mrt import records as mrt_records  # noqa: E402
 from repro.mrt.reader import MRTReader  # noqa: E402
 from repro.netbase import prefix as prefix_module  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.pipeline.parallel import FALLBACK_COUNTER  # noqa: E402
 from repro.pipeline.stream import replay_mrt  # noqa: E402
-from repro.scenarios import get_scenario, run_scenario  # noqa: E402
+from repro.scenarios import get_scenario, run_scenario, spec_hash  # noqa: E402
 from repro.simulator.session import BGPSession  # noqa: E402
 
 #: config name -> (spill scenario, amplification factor).
@@ -69,6 +89,13 @@ CONFIGS = {
 }
 DEFAULT_SCENARIOS = ("small-x8", "small-x32")
 QUICK_SCENARIOS = ("small-x8",)
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+QUICK_WORKER_COUNTS = (2,)
+
+
+def default_archive_cache() -> str:
+    """Shared cache dir for amplified bench archives."""
+    return os.path.join(tempfile.gettempdir(), "repro-bench-archives")
 
 
 def set_fast_decode(enabled: bool) -> None:
@@ -78,9 +105,57 @@ def set_fast_decode(enabled: bool) -> None:
     mrt_records.set_address_memo(enabled)
 
 
-def build_archive(config: str, keep_dir: "str | None") -> str:
-    """Generate the spilled+amplified archive for *config*; return path."""
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _cached_archive(cache_dir: str, config: str) -> "tuple[str, str]":
+    """(archive path, sidecar path) for *config* in the cache dir.
+
+    The key covers the spill scenario's spec hash and the amplification
+    factor — the two inputs that determine the archive bytes — so a
+    scenario-spec change naturally misses the cache.
+    """
     scenario, amplify = CONFIGS[config]
+    key = f"{scenario}-{spec_hash(get_scenario(scenario))}-x{amplify}"
+    base = os.path.join(cache_dir, key + ".mrt")
+    return base, base + ".json"
+
+
+def build_archive(
+    config: str,
+    keep_dir: "str | None",
+    cache_dir: "str | None" = None,
+    refresh: bool = False,
+) -> "tuple[str, bool]":
+    """Produce the spilled+amplified archive for *config*.
+
+    Returns ``(path, cleanup)`` where *cleanup* tells the caller the
+    path is a throwaway tempfile it owns.  Cached archives (keyed by
+    spill-spec hash + amplification, validated by size and sha256) and
+    ``keep_dir`` archives are never cleanup targets.
+    """
+    scenario, amplify = CONFIGS[config]
+    cached = sidecar = None
+    if keep_dir is None and cache_dir is not None:
+        cached, sidecar = _cached_archive(cache_dir, config)
+        if not refresh and os.path.exists(cached) and os.path.exists(sidecar):
+            try:
+                with open(sidecar, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                entry = None
+            if (
+                entry
+                and os.path.getsize(cached) == entry.get("bytes")
+                and _sha256_file(cached) == entry.get("sha256")
+            ):
+                print(f"{config}: reusing cached archive {cached}")
+                return cached, False
     BGPSession._counter = 0
     result = run_scenario(get_scenario(scenario))
     spill_paths = list(result.spill_paths.values())
@@ -93,13 +168,33 @@ def build_archive(config: str, keep_dir: "str | None") -> str:
         blob = handle.read()
     for path in spill_paths:
         os.unlink(path)
+    out_dir = keep_dir
+    if cached is not None:
+        os.makedirs(cache_dir, exist_ok=True)
+        out_dir = cache_dir
     handle, out_path = tempfile.mkstemp(
-        prefix=f"bench-analysis-{config}-", suffix=".mrt", dir=keep_dir
+        prefix=f"bench-analysis-{config}-", suffix=".mrt", dir=out_dir
     )
     with os.fdopen(handle, "wb") as out:
         for _ in range(amplify):
             out.write(blob)
-    return out_path
+    if cached is not None:
+        os.replace(out_path, cached)
+        with open(sidecar, "w", encoding="utf-8") as out:
+            json.dump(
+                {
+                    "scenario": scenario,
+                    "amplify": amplify,
+                    "bytes": os.path.getsize(cached),
+                    "sha256": _sha256_file(cached),
+                },
+                out,
+                indent=2,
+                sort_keys=True,
+            )
+            out.write("\n")
+        return cached, False
+    return out_path, keep_dir is None
 
 
 def archive_fingerprint(path: str) -> "tuple[str, int, dict]":
@@ -167,6 +262,71 @@ def verify_fast_vs_naive(config: str, path: str) -> dict:
     }
 
 
+def classify_fingerprint(
+    path: str, workers: "int | None" = None
+) -> "tuple[str, int]":
+    """(sha256-16 over classifier state + reader stats, fallback ticks).
+
+    The fingerprint covers the full exported classifier state — every
+    §5 type count, unclassified-first and withdrawal tallies — plus the
+    reader's record/skip/error/observation totals, so a sharded run
+    that matches the serial fingerprint decoded, classified and merged
+    bit-identically.  Fallback ticks are read from the gated
+    ``mrt.shard.fallback`` counter; a verified run must show zero.
+    """
+    classifier = UpdateClassifier()
+    stats: dict = {}
+    with obs_metrics.enabled_scope():
+        obs_metrics.reset_metrics()
+        replay_mrt(
+            path, classifier, collector="bench", stats=stats, workers=workers
+        )
+        fallbacks = obs_metrics.registry().counter_value(FALLBACK_COUNTER)
+    payload = json.dumps(
+        {"state": classifier.export_state(), "stats": stats},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16], fallbacks
+
+
+def verify_sharded_vs_serial(
+    config: str, path: str, worker_counts: "tuple[int, ...]"
+) -> dict:
+    """Require the sharded decode to match serial at every worker count."""
+    serial_print, _ = classify_fingerprint(path)
+    for workers in worker_counts:
+        sharded_print, fallbacks = classify_fingerprint(path, workers=workers)
+        match = sharded_print == serial_print and fallbacks == 0
+        print(
+            f"{config}: sharded workers={workers} {sharded_print}"
+            f" vs serial {serial_print} ({fallbacks} fallback(s)) ->"
+            f" {'IDENTICAL' if match else 'MISMATCH'}"
+        )
+        if not match:
+            raise SystemExit(
+                f"verification failure on {config}: sharded decode at"
+                f" workers={workers} diverged from serial (sharded"
+                f" {sharded_print} vs serial {serial_print},"
+                f" {fallbacks} fallback(s))"
+            )
+    return {
+        "sharded_fingerprint": serial_print,
+        "sharded_verified_workers": [int(count) for count in worker_counts],
+    }
+
+
+def measure_parallel_classify(path: str, workers: int) -> "tuple[float, int]":
+    classifier = UpdateClassifier()
+    stats: dict = {}
+    started = time.perf_counter()
+    observations = replay_mrt(
+        path, classifier, collector="bench", stats=stats, workers=workers
+    )
+    elapsed = time.perf_counter() - started
+    return (observations / elapsed if elapsed else 0.0, observations)
+
+
 def measure_decode_only(path: str) -> "tuple[float, int]":
     count = 0
     with open(path, "rb") as handle:
@@ -204,18 +364,34 @@ def best_rate(measure, path: str, repeat: int) -> "tuple[float, int]":
     return best
 
 
-def run_config(config: str, repeat: int, keep_dir: "str | None") -> dict:
-    path = build_archive(config, keep_dir)
+def run_config(
+    config: str,
+    repeat: int,
+    keep_dir: "str | None",
+    worker_counts: "tuple[int, ...]",
+    cache_dir: "str | None",
+    refresh: bool,
+) -> dict:
+    path, cleanup = build_archive(config, keep_dir, cache_dir, refresh)
     archive_bytes = os.path.getsize(path)
     try:
         checks = verify_fast_vs_naive(config, path)
+        checks.update(verify_sharded_vs_serial(config, path, worker_counts))
         decode_rate, records = best_rate(measure_decode_only, path, repeat)
         classify_rate, observations = best_rate(
             measure_decode_classify, path, repeat
         )
         scenario_rate, _ = best_rate(measure_scenario, path, repeat)
+        curve = {}
+        for workers in worker_counts:
+            rate, _ = best_rate(
+                lambda p, w=workers: measure_parallel_classify(p, w),
+                path,
+                repeat,
+            )
+            curve[str(workers)] = round(rate, 1)
     finally:
-        if keep_dir is None:
+        if cleanup:
             try:
                 os.unlink(path)
             except OSError:
@@ -228,12 +404,18 @@ def run_config(config: str, repeat: int, keep_dir: "str | None") -> dict:
         "decode_only_records_per_sec": round(decode_rate, 1),
         "decode_classify_obs_per_sec": round(classify_rate, 1),
         "scenario_obs_per_sec": round(scenario_rate, 1),
+        "parallel_decode_classify_obs_per_sec": curve,
+        "cpu_count": os.cpu_count(),
     }
     result.update(checks)
+    curve_text = ", ".join(
+        f"{workers}w {rate:,.0f}" for workers, rate in curve.items()
+    )
     print(
         f"{config}: decode {decode_rate:,.0f} rec/s,"
         f" decode+classify {classify_rate:,.0f} obs/s,"
-        f" scenario {scenario_rate:,.0f} obs/s"
+        f" scenario {scenario_rate:,.0f} obs/s,"
+        f" parallel [{curve_text}] obs/s"
         f" ({records} records)"
     )
     return result
@@ -274,6 +456,40 @@ def main(argv=None) -> int:
         "--quick",
         action="store_true",
         help="smoke mode: smallest archive only, one repeat",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="equivalence checks only (fast-vs-naive and"
+        " sharded-vs-serial); no timing, no report written",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="CSV",
+        help=f"comma-separated worker counts for the sharded verify and"
+        f" scaling curve (default:"
+        f" {','.join(str(count) for count in DEFAULT_WORKER_COUNTS)};"
+        f" quick default:"
+        f" {','.join(str(count) for count in QUICK_WORKER_COUNTS)})",
+    )
+    parser.add_argument(
+        "--archive-cache",
+        default=default_archive_cache(),
+        metavar="DIR",
+        help="cache amplified archives in DIR, keyed by spill-spec hash"
+        " and amplification (default: repro-bench-archives under the"
+        " system temp dir)",
+    )
+    parser.add_argument(
+        "--no-archive-cache",
+        action="store_true",
+        help="always rebuild archives in throwaway tempfiles",
+    )
+    parser.add_argument(
+        "--refresh-archives",
+        action="store_true",
+        help="rebuild cached archives even on a cache hit",
     )
     parser.add_argument(
         "--scenarios",
@@ -331,8 +547,46 @@ def main(argv=None) -> int:
         scenarios = DEFAULT_SCENARIOS
     repeat = 1 if args.quick else args.repeat
 
+    if args.workers:
+        try:
+            worker_counts = tuple(
+                int(part.strip())
+                for part in args.workers.split(",")
+                if part.strip()
+            )
+        except ValueError:
+            parser.error(f"--workers must be a CSV of integers, got"
+                         f" {args.workers!r}")
+        if not worker_counts or any(count < 1 for count in worker_counts):
+            parser.error("--workers counts must be integers >= 1")
+    elif args.quick:
+        worker_counts = QUICK_WORKER_COUNTS
+    else:
+        worker_counts = DEFAULT_WORKER_COUNTS
+    cache_dir = None if args.no_archive_cache else args.archive_cache
+
+    if args.verify:
+        for config in scenarios:
+            path, cleanup = build_archive(
+                config, args.keep_archive, cache_dir, args.refresh_archives
+            )
+            try:
+                verify_fast_vs_naive(config, path)
+                verify_sharded_vs_serial(config, path, worker_counts)
+            finally:
+                if cleanup:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+        print("verification passed; no report written")
+        return 0
+
     runs = [
-        run_config(config, repeat, args.keep_archive)
+        run_config(
+            config, repeat, args.keep_archive, worker_counts, cache_dir,
+            args.refresh_archives,
+        )
         for config in scenarios
     ]
 

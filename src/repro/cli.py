@@ -145,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="MRT archive path for mrt-replay scenarios",
     )
     scenario_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "decode the MRT archive on N worker processes (sharded"
+            " by session, merged bit-identically; mrt scenarios only)"
+        ),
+    )
+    scenario_run.add_argument(
         "--json",
         action="store_true",
         help="emit the full result as JSON instead of tables",
@@ -414,6 +424,18 @@ def _load_run_spec(arguments) -> "tuple[object, Optional[str]]":
         spec = replace(
             spec, mrt=replace(section, path=arguments.input)
         )
+    if getattr(arguments, "workers", None) is not None:
+        from repro.scenarios import MrtSpec
+
+        if spec.kind != "mrt":
+            return None, (
+                f"--workers only applies to mrt scenarios;"
+                f" {spec.name!r} is kind {spec.kind!r}"
+            )
+        section = spec.mrt if spec.mrt is not None else MrtSpec()
+        spec = replace(
+            spec, mrt=replace(section, decode_workers=arguments.workers)
+        )
     return spec, None
 
 
@@ -501,6 +523,25 @@ def _scenario_run(arguments) -> int:
             f"\nmrt reader: {stats.get('records', 0)} records decoded,"
             f" {stats.get('skipped_records', 0)} skipped (unmodeled"
             f" type), {stats.get('error_records', 0)} damaged-dropped"
+        )
+    if result.shard_stats:
+        rows = [
+            (
+                str(row.get("shard", index)),
+                f"{row.get('records', 0):,}",
+                f"{row.get('observations', 0):,}",
+                f"{row.get('skipped_records', 0):,}",
+                f"{row.get('error_records', 0):,}",
+            )
+            for index, row in enumerate(result.shard_stats)
+        ]
+        _emit()
+        _emit(
+            render_table(
+                ("shard", "records", "observations", "skipped", "errors"),
+                rows,
+                title="Parallel decode shards",
+            )
         )
     for name, path in sorted(result.spill_paths.items()):
         _emit(f"\nspilled archive [{name}]: {path}")

@@ -1,0 +1,326 @@
+"""Record-boundary index pass and shard planning for MRT archives.
+
+One on-disk archive is decoded by one core unless somebody splits it,
+and MRT records are self-framing, so the split is almost free: a scan
+that only ever touches the 12-byte record header plus the first few
+envelope bytes yields every record's byte extent and its BGP session
+— without materializing a single message body.
+
+:func:`plan_shards` turns that index into N shards partitioned **by
+session** (peer ASN + peer address): every record of a session lands
+wholly in one shard, in file order.  The paper's §5 classification is
+per-(session, prefix) stream state, and streams never cross sessions,
+so per-shard classification followed by a counts merge is provably
+identical to the serial pass — the property `bench_analysis.py
+--verify` and the shard test suite pin bit-for-bit.
+
+The index pass is strict on purpose: any structural damage it cannot
+attribute to a session (truncated header or body, an envelope too
+short to carry an address) raises :class:`ShardIndexError`, and the
+caller falls back to the plain serial decode — which handles damage
+exactly as it always has.  Records whose *message* bytes are damaged
+index fine (the scan never parses the message) and are counted as
+error records by whichever shard decodes them, so reader stats still
+sum to the serial totals.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import BinaryIO, List, Optional, Sequence, Tuple
+
+from repro.mrt.records import HEADER_STRUCT, Bgp4mpSubtype, MRTType
+
+_HEADER_SIZE = 12
+_CHUNK_SIZE = 1 << 20  # 1 MiB scan granularity
+
+_BGP4MP = int(MRTType.BGP4MP)
+_BGP4MP_ET = int(MRTType.BGP4MP_ET)
+_MESSAGE = int(Bgp4mpSubtype.MESSAGE)
+_MESSAGE_AS4 = int(Bgp4mpSubtype.MESSAGE_AS4)
+
+#: The index-pass envelope memo is per call (archives carry a handful
+#: of sessions but repeat the envelope on every record); the cap only
+#: guards against adversarial archives synthesizing endless sessions.
+_SESSION_MEMO_LIMIT = 65536
+
+
+class ShardIndexError(RuntimeError):
+    """The index pass met damage it cannot attribute to a session.
+
+    Deliberately *not* an :class:`~repro.mrt.records.MRTError`: this is
+    a planning failure, and the contract is "fall back to serial
+    decode", never "drop the record" — the serial reader then applies
+    its own tolerant/strict damage policy byte-for-byte as usual.
+    """
+
+
+@dataclass(frozen=True)
+class ArchiveIndex:
+    """Every record's byte extent plus its session identity.
+
+    ``entries`` is one ``(offset, length, session)`` triple per record
+    in file order: *offset* points at the MRT header, *length* covers
+    header + body, and *session* is a dense integer id in session
+    first-appearance order — or ``None`` for records that carry no
+    session (unmodeled MRT types, non-MESSAGE BGP4MP subtypes).
+    """
+
+    path: str
+    size: int
+    entries: "Tuple[Tuple[int, int, Optional[int]], ...]"
+    session_count: int
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the archive: coalesced byte ranges."""
+
+    index: int
+    #: ``(start, end)`` byte ranges, ascending and non-overlapping.
+    ranges: "Tuple[Tuple[int, int], ...]"
+    records: int
+    sessions: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A session-partitioned decode plan for one archive."""
+
+    path: str
+    shard_count: int
+    size: int
+    record_count: int
+    session_count: int
+    #: session id -> owning shard index (dense, first-appearance ids).
+    session_assignment: "Tuple[int, ...]"
+    shards: "Tuple[ShardSpec, ...]"
+
+
+def index_archive(path: str) -> ArchiveIndex:
+    """Walk record headers; return every record's extent and session.
+
+    Touches at most the header plus ~32 envelope bytes per record and
+    steps over bodies arithmetically (the file size bounds every
+    record up front), so the scan is I/O-bound.  Raises
+    :class:`ShardIndexError` on any structure the scan cannot index.
+    """
+    entries: "List[Tuple[int, int, Optional[int]]]" = []
+    sessions: dict = {}
+    session_memo: dict = {}
+    with open(path, "rb") as handle:
+        size = os.fstat(handle.fileno()).st_size
+        buffer = b""
+        base = 0  # file offset of buffer[0]
+        offset = 0
+
+        def view(start: int, count: int):
+            """Buffered bytes [start, start+count); None past EOF."""
+            nonlocal buffer, base
+            if start + count > size:
+                return None
+            if start < base or start + count > base + len(buffer):
+                handle.seek(start)
+                buffer = handle.read(max(_CHUNK_SIZE, count))
+                base = start
+                if len(buffer) < count:
+                    return None
+            local = start - base
+            return buffer[local : local + count]
+
+        while offset < size:
+            header = view(offset, _HEADER_SIZE)
+            if header is None:
+                raise ShardIndexError(
+                    f"truncated MRT header at byte {offset}"
+                )
+            _ts, mrt_type, subtype, length = HEADER_STRUCT.unpack(header)
+            end = offset + _HEADER_SIZE + length
+            if end > size:
+                raise ShardIndexError(
+                    f"truncated MRT record body at byte {offset}"
+                )
+            session: "Optional[int]" = None
+            if mrt_type == _BGP4MP or mrt_type == _BGP4MP_ET:
+                if subtype == _MESSAGE or subtype == _MESSAGE_AS4:
+                    session = _session_of(
+                        view, offset + _HEADER_SIZE, length,
+                        mrt_type == _BGP4MP_ET, subtype == _MESSAGE_AS4,
+                        sessions, session_memo,
+                    )
+            entries.append((offset, _HEADER_SIZE + length, session))
+            offset = end
+    return ArchiveIndex(
+        path=path,
+        size=size,
+        entries=tuple(entries),
+        session_count=len(sessions),
+    )
+
+
+def _session_of(
+    view, body_start: int, body_length: int, extended: bool, as4: bool,
+    sessions: dict, memo: dict,
+) -> int:
+    """Resolve one MESSAGE(-AS4) record's dense session id.
+
+    The identity is the decoded ``(peer ASN, AFI, peer address bytes)``
+    triple — *not* the raw envelope bytes — so the same session carried
+    as both MESSAGE and MESSAGE_AS4 records collapses to one id,
+    exactly as the reader's :class:`SessionKey` would.
+    """
+    envelope_start = body_start
+    envelope_length = body_length
+    if extended:
+        if body_length <= 4:
+            raise ShardIndexError("BGP4MP_ET record too short to index")
+        envelope_start += 4
+        envelope_length -= 4
+    # peer ASN field + AFI position depend on the subtype; the peer
+    # address follows the 8-byte (or 12-byte) fixed envelope prefix.
+    addr_offset = 12 if as4 else 8
+    if envelope_length < addr_offset:
+        raise ShardIndexError("BGP4MP envelope too short to index")
+    prefix = view(envelope_start, addr_offset)
+    if prefix is None:
+        raise ShardIndexError("BGP4MP envelope too short to index")
+    if as4:
+        afi = (prefix[10] << 8) | prefix[11]
+    else:
+        afi = (prefix[6] << 8) | prefix[7]
+    addr_size = 4 if afi == 1 else 16
+    if envelope_length < addr_offset + addr_size:
+        raise ShardIndexError("BGP4MP peer address truncated")
+    address = view(envelope_start + addr_offset, addr_size)
+    if address is None:
+        raise ShardIndexError("BGP4MP peer address truncated")
+    memo_key = (as4, prefix, address)
+    session = memo.get(memo_key)
+    if session is not None:
+        return session
+    if as4:
+        peer_asn = int.from_bytes(prefix[:4], "big")
+    else:
+        peer_asn = (prefix[0] << 8) | prefix[1]
+    identity = (peer_asn, afi, address)
+    session = sessions.get(identity)
+    if session is None:
+        session = len(sessions)
+        sessions[identity] = session
+    if len(memo) >= _SESSION_MEMO_LIMIT:
+        memo.clear()
+    memo[memo_key] = session
+    return session
+
+
+def plan_shards(
+    path: str,
+    shard_count: int,
+    *,
+    index: "Optional[ArchiveIndex]" = None,
+) -> ShardPlan:
+    """Partition an archive into *shard_count* session-complete shards.
+
+    Sessions are assigned greedily, heaviest first, to the least
+    loaded shard (ties broken by shard index), so record counts
+    balance without ever splitting a session.  Sessionless records
+    stick to the shard of the record before them — the assignment is
+    arbitrary for correctness (they only contribute skip counts, which
+    sum), and stickiness keeps the byte ranges coalesced.  The whole
+    plan is a pure function of the archive bytes and *shard_count*.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count!r}")
+    if index is None:
+        index = index_archive(path)
+    session_records = [0] * index.session_count
+    for _offset, _length, session in index.entries:
+        if session is not None:
+            session_records[session] += 1
+    order = sorted(
+        range(index.session_count),
+        key=lambda session: (-session_records[session], session),
+    )
+    loads = [0] * shard_count
+    assignment = [0] * index.session_count
+    for session in order:
+        shard = min(range(shard_count), key=lambda i: (loads[i], i))
+        assignment[session] = shard
+        loads[shard] += session_records[session]
+    ranges: "List[List[List[int]]]" = [[] for _ in range(shard_count)]
+    records = [0] * shard_count
+    current = 0
+    for offset, length, session in index.entries:
+        if session is not None:
+            current = assignment[session]
+        shard_ranges = ranges[current]
+        end = offset + length
+        if shard_ranges and shard_ranges[-1][1] == offset:
+            shard_ranges[-1][1] = end
+        else:
+            shard_ranges.append([offset, end])
+        records[current] += 1
+    shard_sessions = [0] * shard_count
+    for session in range(index.session_count):
+        shard_sessions[assignment[session]] += 1
+    return ShardPlan(
+        path=path,
+        shard_count=shard_count,
+        size=index.size,
+        record_count=len(index.entries),
+        session_count=index.session_count,
+        session_assignment=tuple(assignment),
+        shards=tuple(
+            ShardSpec(
+                index=shard,
+                ranges=tuple(
+                    (start, end) for start, end in ranges[shard]
+                ),
+                records=records[shard],
+                sessions=shard_sessions[shard],
+            )
+            for shard in range(shard_count)
+        ),
+    )
+
+
+class RangeStream:
+    """A read-only stream over selected byte ranges of one file.
+
+    Presents a shard's coalesced ``(start, end)`` ranges as a single
+    contiguous stream, which is exactly what :class:`MRTReader` wants:
+    the ranges cover whole records, so the concatenation is itself a
+    well-formed MRT archive containing just this shard's records, in
+    file order.
+    """
+
+    def __init__(
+        self, handle: BinaryIO, ranges: "Sequence[Tuple[int, int]]"
+    ):
+        self._handle = handle
+        self._ranges = list(ranges)
+        self._next = 0
+        self._remaining = 0
+
+    def read(self, count: int = -1) -> bytes:
+        parts = []
+        want = count
+        while want != 0:
+            if self._remaining <= 0:
+                if self._next >= len(self._ranges):
+                    break
+                start, end = self._ranges[self._next]
+                self._next += 1
+                self._handle.seek(start)
+                self._remaining = end - start
+                continue
+            take = self._remaining if want < 0 else min(want, self._remaining)
+            chunk = self._handle.read(take)
+            if not chunk:
+                break
+            self._remaining -= len(chunk)
+            if want > 0:
+                want -= len(chunk)
+            parts.append(chunk)
+        return b"".join(parts)

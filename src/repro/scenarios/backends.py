@@ -239,6 +239,25 @@ class ExecutionBackend(ABC):
         cells that were mid-flight.
         """
 
+    def map_json(
+        self,
+        task: "Callable[[str], str]",
+        payloads: "Sequence[str]",
+        *,
+        workers: int = 1,
+    ) -> "List[str]":
+        """Apply a JSON-string task to every payload, in payload order.
+
+        The light sibling of :meth:`run_jobs` for the parallel MRT
+        decode: same strings-only contract (*task* must be a picklable
+        module-level function taking and returning JSON text), but no
+        retry/outcome machinery — callers that fan decode shards out
+        handle failure by falling back to serial, so a raising worker
+        simply propagates.  The base implementation is the in-process
+        serial loop; pool backends override it.
+        """
+        return [task(payload) for payload in payloads]
+
 
 class SerialBackend(ExecutionBackend):
     """In-process, one cell at a time — the debugging backend."""
@@ -318,6 +337,16 @@ class _PoolBackend(ExecutionBackend):
         outcomes.sort(key=lambda outcome: order[outcome.job.digest])
         return outcomes
 
+    def map_json(self, task, payloads, *, workers=1):
+        if workers <= 1 or len(payloads) <= 1:
+            # Mirror run_jobs' one-lane shortcut: skip the pool (and
+            # for processes, the fork) when it cannot buy parallelism.
+            return [task(payload) for payload in payloads]
+        with self._make_pool(min(workers, len(payloads))) as pool:
+            # Executor.map preserves payload order, so replies line up
+            # with their shards no matter which worker finished first.
+            return list(pool.map(task, payloads))
+
 
 class ThreadBackend(_PoolBackend):
     """Thread pool — for I/O-bound cells (mrt replay, remote feeds)."""
@@ -386,6 +415,11 @@ class ShardedBackend(ExecutionBackend):
             max_retries=max_retries,
             on_outcome=on_outcome,
         )
+
+    def map_json(self, task, payloads, *, workers=1):
+        # Decode shards are not sweep cells: the partition is already
+        # decided by the shard plan, so delegate execution untouched.
+        return self.inner.map_json(task, payloads, workers=workers)
 
 
 def parse_shard(text: str) -> "Tuple[int, int]":

@@ -26,10 +26,11 @@ from typing import Dict, Iterable, List, Optional, Type
 from repro.analysis.classify import (
     TYPE_ORDER,
     AnnouncementType,
+    TypeCounts,
     UpdateClassifier,
 )
 from repro.analysis.observations import Observation
-from repro.analysis.tables import build_table1, build_table2
+from repro.analysis.tables import build_table2
 
 
 class ScenarioContext:
@@ -55,6 +56,13 @@ class MetricCollector:
     #: Registry key; subclasses must set it.
     name: str = ""
 
+    #: Collectors that can export their state as JSON data and fold in
+    #: other instances' exports set this True; the parallel MRT decode
+    #: path only engages when every requested collector supports it.
+    #: A mergeable collector must guarantee shard-merge == serial given
+    #: that every (session, prefix) stream lives wholly in one shard.
+    supports_merge = False
+
     def start(self, context: ScenarioContext) -> None:
         """Called once before any event is delivered."""
 
@@ -77,6 +85,18 @@ class MetricCollector:
         """
         return self.finish()
 
+    def export_state(self) -> dict:
+        """Mergeable state as JSON data (``supports_merge`` only)."""
+        raise NotImplementedError(
+            f"collector {self.name!r} does not support sharded merge"
+        )
+
+    def merge_state(self, state: dict) -> None:
+        """Fold one shard's exported state in (``supports_merge`` only)."""
+        raise NotImplementedError(
+            f"collector {self.name!r} does not support sharded merge"
+        )
+
 
 class CollectorProxy:
     """Fans events out to every attached collector.
@@ -85,6 +105,10 @@ class CollectorProxy:
     :meth:`observe`, so the engine can terminate a live observation
     stream with the proxy itself.
     """
+
+    #: Sharded-decode job protocol tag: workers rebuild the proxy from
+    #: the collector names (see :mod:`repro.pipeline.parallel`).
+    shard_sink_kind = "collectors"
 
     def __init__(self, collectors: "Iterable[MetricCollector]"):
         self.collectors: "List[MetricCollector]" = list(collectors)
@@ -123,6 +147,24 @@ class CollectorProxy:
 
     def close(self) -> None:
         """Sink hook; the engine calls finish() explicitly."""
+
+    # sharded-decode merge protocol ------------------------------------
+    @property
+    def supports_merge(self) -> bool:
+        """True when every attached collector can merge shard state."""
+        return all(
+            collector.supports_merge for collector in self.collectors
+        )
+
+    def export_state(self) -> dict:
+        return {
+            collector.name: collector.export_state()
+            for collector in self.collectors
+        }
+
+    def merge_state(self, state: dict) -> None:
+        for collector in self.collectors:
+            collector.merge_state(state[collector.name])
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +210,7 @@ class UpdateCountsCollector(MetricCollector):
     """Announcement/withdrawal volume plus the §5 type break-down."""
 
     name = "update_counts"
+    supports_merge = True
 
     def __init__(self):
         self._classifier = UpdateClassifier()
@@ -188,12 +231,23 @@ class UpdateCountsCollector(MetricCollector):
             },
         }
 
+    def export_state(self) -> dict:
+        return {
+            "observations": self._observations,
+            "classifier": self._classifier.export_state(),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        self._observations += int(state["observations"])
+        self._classifier.merge_state(state["classifier"])
+
 
 @collector
 class CommunityPrevalenceCollector(MetricCollector):
     """How widespread communities are in the collected feed."""
 
     name = "community_prevalence"
+    supports_merge = True
 
     def __init__(self):
         self._announcements = 0
@@ -223,6 +277,18 @@ class CommunityPrevalenceCollector(MetricCollector):
             "unique_16bit_communities": len(self._unique_16bit),
         }
 
+    def export_state(self) -> dict:
+        return {
+            "announcements": self._announcements,
+            "with_communities": self._with_communities,
+            "unique_16bit": sorted(self._unique_16bit),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        self._announcements += int(state["announcements"])
+        self._with_communities += int(state["with_communities"])
+        self._unique_16bit.update(state["unique_16bit"])
+
 
 @collector
 class DuplicatesCollector(MetricCollector):
@@ -230,6 +296,7 @@ class DuplicatesCollector(MetricCollector):
     the paper's headline spurious-update metric."""
 
     name = "duplicates"
+    supports_merge = True
 
     def __init__(self):
         self._classifier = UpdateClassifier()
@@ -251,34 +318,142 @@ class DuplicatesCollector(MetricCollector):
             "spurious_share": (nn + nc) / total if total else 0.0,
         }
 
+    def export_state(self) -> dict:
+        return {"classifier": self._classifier.export_state()}
+
+    def merge_state(self, state: dict) -> None:
+        self._classifier.merge_state(state["classifier"])
+
+
+def _canonical_path(path) -> tuple:
+    """A hashable, JSON-friendly form with ASPath's equality semantics.
+
+    One tuple per segment: ``(segment kind, member ASNs...)`` — members
+    sorted and deduplicated for set segments (whose equality is by
+    frozenset), kept in wire order for sequences.  Equal paths map to
+    equal tuples and distinct paths to distinct tuples, so counting
+    unique canonical forms counts unique paths — including across
+    decode shards, where the objects themselves cannot travel.
+    """
+    return tuple(
+        (int(segment.kind),)
+        + tuple(
+            sorted({int(asn) for asn in segment.asns})
+            if segment.is_set
+            else (int(asn) for asn in segment.asns)
+        )
+        for segment in path.segments
+    )
+
 
 @collector
 class Table1Collector(MetricCollector):
-    """The paper's Table 1 dataset overview."""
+    """The paper's Table 1 dataset overview.
+
+    Accumulates incrementally in the canonical exportable forms
+    (prefix strings, session tuples, canonical path tuples) instead of
+    buffering every observation, so memory tracks the number of
+    *distinct* entities rather than feed length — and a shard's whole
+    state serializes for the parallel-decode merge.
+    """
 
     name = "table1"
+    supports_merge = True
 
     def __init__(self):
-        self._observations: "List[Observation]" = []
+        self._v4: set = set()
+        self._v6: set = set()
+        self._ases: set = set()
+        self._sessions: set = set()
+        self._peers: set = set()
+        self._paths: set = set()
+        self._communities_16bit: set = set()
+        self._announcements = 0
+        self._with_communities = 0
+        self._withdrawals = 0
+        # Decode interning repeats the same ASPath objects for the
+        # overwhelming majority of announcements; memoizing their
+        # canonical form keeps this collector O(1) per observation.
+        self._canonical_memo: dict = {}
 
     def observe(self, observation: Observation) -> None:
-        self._observations.append(observation)
+        session = observation.session
+        self._sessions.add(
+            (session.collector, int(session.peer_asn), session.peer_address)
+        )
+        self._peers.add(int(session.peer_asn))
+        prefix = observation.prefix
+        if prefix.version == 4:
+            self._v4.add(str(prefix))
+        else:
+            self._v6.add(str(prefix))
+        if observation.is_withdrawal:
+            self._withdrawals += 1
+            return
+        self._announcements += 1
+        path = observation.as_path
+        if path is not None:
+            canonical = self._canonical_memo.get(path)
+            if canonical is None:
+                canonical = _canonical_path(path)
+                self._canonical_memo[path] = canonical
+            if canonical not in self._paths:
+                self._paths.add(canonical)
+                self._ases.update(int(asn) for asn in path.asns())
+        if not observation.communities.is_empty():
+            self._with_communities += 1
+            for community in observation.communities.classic:
+                self._communities_16bit.add(community.value)
 
     def finish(self) -> dict:
-        table = build_table1(self._observations)
+        announcements = self._announcements
+        share = (
+            self._with_communities / announcements if announcements else 0.0
+        )
         return {
-            "ipv4_prefixes": table.ipv4_prefixes,
-            "ipv6_prefixes": table.ipv6_prefixes,
-            "ases": table.ases,
-            "sessions": table.sessions,
-            "peers": table.peers,
-            "announcements": table.announcements,
-            "with_communities": table.with_communities,
-            "unique_16bit_communities": table.unique_16bit_communities,
-            "unique_as_paths": table.unique_as_paths,
-            "withdrawals": table.withdrawals,
-            "community_share": table.community_share,
+            "ipv4_prefixes": len(self._v4),
+            "ipv6_prefixes": len(self._v6),
+            "ases": len(self._ases),
+            "sessions": len(self._sessions),
+            "peers": len(self._peers),
+            "announcements": announcements,
+            "with_communities": self._with_communities,
+            "unique_16bit_communities": len(self._communities_16bit),
+            "unique_as_paths": len(self._paths),
+            "withdrawals": self._withdrawals,
+            "community_share": share,
         }
+
+    def export_state(self) -> dict:
+        return {
+            "v4": sorted(self._v4),
+            "v6": sorted(self._v6),
+            "ases": sorted(self._ases),
+            "sessions": sorted(list(item) for item in self._sessions),
+            "peers": sorted(self._peers),
+            "paths": sorted(
+                [list(segment) for segment in path] for path in self._paths
+            ),
+            "communities_16bit": sorted(self._communities_16bit),
+            "announcements": self._announcements,
+            "with_communities": self._with_communities,
+            "withdrawals": self._withdrawals,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        self._v4.update(state["v4"])
+        self._v6.update(state["v6"])
+        self._ases.update(state["ases"])
+        self._sessions.update(tuple(item) for item in state["sessions"])
+        self._peers.update(state["peers"])
+        self._paths.update(
+            tuple(tuple(segment) for segment in path)
+            for path in state["paths"]
+        )
+        self._communities_16bit.update(state["communities_16bit"])
+        self._announcements += int(state["announcements"])
+        self._with_communities += int(state["with_communities"])
+        self._withdrawals += int(state["withdrawals"])
 
 
 @collector
@@ -286,10 +461,16 @@ class Table2Collector(MetricCollector):
     """The paper's Table 2 announcement-type shares (full + beacons)."""
 
     name = "table2"
+    #: Mergeable for MRT replays: no simulation means no beacon
+    #: schedule, so the beacon subset is vacuously empty and only the
+    #: full-feed counts need to travel (export classifies the shard's
+    #: buffered observations; the per-stream state stays shard-local).
+    supports_merge = True
 
     def __init__(self):
         self._observations: "List[Observation]" = []
         self._context: "Optional[ScenarioContext]" = None
+        self._merged: "Optional[TypeCounts]" = None
 
     def start(self, context: ScenarioContext) -> None:
         # Keep the reference, not a copy: under live streaming the
@@ -301,6 +482,17 @@ class Table2Collector(MetricCollector):
         self._observations.append(observation)
 
     def finish(self) -> dict:
+        if self._merged is not None:
+            # Merged shard counts: same output as a serial beacon-free
+            # run, where empty beacons make the subset column None.
+            return {
+                "full_shares": {
+                    kind.value: self._merged.share(kind)
+                    for kind in TYPE_ORDER
+                },
+                "beacon_shares": None,
+                "classified": self._merged.classified_total,
+            }
         beacons = (
             set(self._context.beacon_prefixes)
             if self._context is not None
@@ -322,6 +514,17 @@ class Table2Collector(MetricCollector):
             "beacon_shares": beacon,
             "classified": table.full.classified_total,
         }
+
+    def export_state(self) -> dict:
+        classifier = UpdateClassifier()
+        for observation in self._observations:
+            classifier.observe(observation)
+        return {"full": classifier.counts.to_dict()}
+
+    def merge_state(self, state: dict) -> None:
+        if self._merged is None:
+            self._merged = TypeCounts()
+        self._merged.merge(TypeCounts.from_dict(state["full"]))
 
 
 @collector

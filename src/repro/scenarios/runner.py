@@ -63,7 +63,10 @@ from repro.scenarios.spec import ScenarioSpec
 #: instead of silently served as current numbers.
 #: v2: mrt-replay results gained ``reader_stats``; a v1 entry would
 #: replay byte-different from a fresh computation.
-CACHE_VERSION = "v2"
+#: v3: results gained ``shard_stats`` (parallel sharded decode) and
+#: ``MrtSpec`` gained ``decode_workers``; entries written by a v2
+#: toolkit would replay byte-different for sharded runs.
+CACHE_VERSION = "v3"
 
 #: Static fingerprint of the serialized result schema — the payload
 #: keys of ``result_to_dict``/``failure_to_dict`` plus the
@@ -73,7 +76,7 @@ CACHE_VERSION = "v2"
 #: together.  When that check fires: decide whether replayed bytes
 #: change, bump :data:`CACHE_VERSION` if they do, and paste the
 #: computed value from the finding message here.
-CACHE_SCHEMA_FINGERPRINT = "1661e2e1e70e"
+CACHE_SCHEMA_FINGERPRINT = "b4ee7e79478f"
 
 #: Manifest filename inside the cache dir, and its schema version.
 #: Note: per-cell ``attempts``/``started_at``/``finished_at`` keys were
