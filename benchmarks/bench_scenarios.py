@@ -1,14 +1,17 @@
 """Scenario engine throughput across execution backends.
 
 Times the same 4-seed sweep (the ``topology-tiny`` scenario) through
-every execution backend — ``serial``, ``threads``, ``processes`` —
-plus the ``processes`` backend against a cold and a warm spec-hash
-cache.  Simulations are pure-Python CPU-bound work, so on multi-core
-hosts ``processes`` should approach ``cores``-fold speed-up over
-``serial`` while ``threads`` stays near 1x (the GIL serializes it;
-the threads backend earns its keep on I/O-bound ``mrt`` cells
-instead).  Regressions in the pool fan-out show up as a shrinking
-speed-up ratio.
+every execution backend — ``serial``, ``threads``, ``processes``,
+``queue`` — plus the ``processes`` backend against a cold and a warm
+spec-hash cache.  Simulations are pure-Python CPU-bound work, so on
+multi-core hosts ``processes`` should approach ``cores``-fold
+speed-up over ``serial`` while ``threads`` stays near 1x (the GIL
+serializes it; the threads backend earns its keep on I/O-bound
+``mrt`` cells instead) and a single ``queue`` invocation tracks
+``serial`` plus the per-cell claim/done file round trip (its
+parallelism comes from running N invocations).  Regressions in the
+pool fan-out or the queue's filesystem protocol show up as shrinking
+ratios.
 
 Also asserts the backend contract end to end: every backend produces
 identical results for identical specs, and a warm cache serves the
@@ -18,7 +21,7 @@ whole sweep without simulating anything.
 import os
 
 from repro.reports import render_table
-from repro.scenarios import expand_seeds, get_scenario, run_sweep
+from repro.scenarios import QueueBackend, expand_seeds, get_scenario, run_sweep
 
 SEEDS = (1, 2, 3, 4)
 
@@ -38,6 +41,10 @@ def test_bench_scenario_sweep_backends(benchmark, tmp_path):
         processes = run_sweep(
             sweep_specs(), workers=all_cores, backend="processes"
         )
+        queue = run_sweep(
+            sweep_specs(),
+            backend=QueueBackend(str(tmp_path / "queue")),
+        )
         cold = run_sweep(
             sweep_specs(),
             workers=all_cores,
@@ -50,9 +57,9 @@ def test_bench_scenario_sweep_backends(benchmark, tmp_path):
             backend="processes",
             cache_dir=str(tmp_path / "cache"),
         )
-        return serial, threads, processes, cold, warm
+        return serial, threads, processes, queue, cold, warm
 
-    serial, threads, processes, cold, warm = benchmark.pedantic(
+    serial, threads, processes, queue, cold, warm = benchmark.pedantic(
         timed_sweeps, rounds=1, iterations=1
     )
     speedup = (
@@ -71,6 +78,7 @@ def test_bench_scenario_sweep_backends(benchmark, tmp_path):
             (serial, "off"),
             (threads, "off"),
             (processes, "off"),
+            (queue, "off"),
             (cold, "cold"),
             (warm, "warm"),
         )
@@ -87,7 +95,7 @@ def test_bench_scenario_sweep_backends(benchmark, tmp_path):
         )
     )
     # Identical specs => identical results, whatever backend ran them.
-    for report in (threads, processes, cold):
+    for report in (threads, processes, queue, cold):
         assert len(report.results) == len(serial.results)
         assert not report.failures
         for left, right in zip(serial.results, report.results):

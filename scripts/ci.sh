@@ -85,6 +85,54 @@ assert status["counts"]["done"] == status["counts"]["total"] == 4, status
 '
 
 echo
+echo "== smoke: killed worker must not cascade =="
+# A worker os._exits mid-cell (REPRO_FAULT_KILL, the test-only fault
+# hook; to the pool it looks like a segfault or OOM kill).  The fix
+# under test: the sweep completes every sibling and reports exactly
+# the killed cell as failed (exit 1) — one dead worker used to fail
+# the whole batch.  A fault-free --resume then finishes the matrix.
+KILL_CACHE="$CACHE_DIR/killed"
+! REPRO_FAULT_KILL="topology-tiny@seed2" \
+    python -m repro scenario sweep topology-tiny --seeds 1,2,3 \
+    --workers 2 --backend processes --cache-dir "$KILL_CACHE"
+python -m repro scenario sweep --status --cache-dir "$KILL_CACHE" \
+    --json | python -c '
+import json, sys
+status = json.load(sys.stdin)
+counts = status["counts"]
+assert counts["done"] == 2 and counts["failed"] == 1, counts
+failed = [c for c in status["cells"] if c["state"] == "failed"]
+assert [c["name"] for c in failed] == ["topology-tiny@seed2"], failed
+'
+python -m repro scenario sweep --resume --cache-dir "$KILL_CACHE" \
+    --workers 2
+python -m repro scenario sweep --status --cache-dir "$KILL_CACHE" \
+    --json | python -c '
+import json, sys
+counts = json.load(sys.stdin)["counts"]
+assert counts["done"] == counts["total"] == 3, counts
+'
+
+echo
+echo "== smoke: cooperating queue invocations =="
+# Two concurrent invocations drain one shared work dir (claims by
+# atomic rename); each cell is computed exactly once, and a final
+# serial pass over the shared cache must be all hits.
+QUEUE_CACHE="$CACHE_DIR/queued"
+python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
+    --backend queue --cache-dir "$QUEUE_CACHE" &
+QUEUE_PID_A=$!
+python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
+    --backend queue --cache-dir "$QUEUE_CACHE" &
+QUEUE_PID_B=$!
+wait "$QUEUE_PID_A"
+wait "$QUEUE_PID_B"
+python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
+    --backend serial --cache-dir "$QUEUE_CACHE" \
+    | tee "$CACHE_DIR/queue-converged.txt"
+grep -q "4 hit(s), 0 miss(es)" "$CACHE_DIR/queue-converged.txt"
+
+echo
 echo "== cross-backend determinism suite =="
 python -m pytest tests/test_backend_determinism.py -q
 

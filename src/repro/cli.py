@@ -230,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_sweep.add_argument(
         "--backend",
-        choices=("serial", "threads", "processes"),
+        choices=("serial", "threads", "processes", "queue"),
         default="processes",
         help="execution backend for cache misses (default: processes)",
     )
@@ -244,10 +244,63 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     scenario_sweep.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared work directory for --backend queue (default:"
+            " <cache-dir>/queue); N invocations pointed at the same"
+            " directory drain the sweep cooperatively, each cell"
+            " claimed exactly once by atomic rename"
+        ),
+    )
+    scenario_sweep.add_argument(
         "--max-retries",
         type=int,
         default=0,
         help="per-spec retries before a cell is reported failed",
+    )
+    scenario_sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per cell; a cell running longer is"
+            " reaped (processes) or abandoned (threads), charged one"
+            " attempt, and retried while --max-retries allows"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "base of the deterministic exponential backoff between"
+            " retries of a failing cell (default 0.1s: 0.1, 0.2,"
+            " 0.4, ...)"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--pool-rebuilds",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "times a pool broken by a dying worker is rebuilt wholesale"
+            " (unreplied cells resubmitted, nobody charged) before"
+            " remaining cells run isolated one-per-pool (default 1)"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--speculate",
+        action="store_true",
+        help=(
+            "duplicate straggler cells onto idle lanes and let the"
+            " first finisher win (safe: payloads are deterministic and"
+            " cache writes are idempotent by digest)"
+        ),
     )
     scenario_sweep.add_argument(
         "--resume",
@@ -267,8 +320,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "render the live status of the sweep recorded in"
-            " --cache-dir (done/running/failed/retried cells, rates,"
-            " stragglers) and exit without running anything"
+            " --cache-dir (done/running/failed/lost/retried cells,"
+            " rates, stragglers) and exit without running anything"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--lost-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --status: journal silence past which a running cell"
+            " is shown as lost (default: 2x the cell's own heartbeat"
+            " interval)"
         ),
     )
     scenario_sweep.add_argument(
@@ -636,7 +700,19 @@ def _scenario_sweep(arguments) -> int:
             if arguments.shard is not None
             else None
         )
-        backend = make_backend(arguments.backend, shard=shard)
+        queue_dir = arguments.queue_dir
+        if arguments.backend == "queue" and queue_dir is None:
+            if arguments.cache_dir is None:
+                print(
+                    "--backend queue needs --queue-dir (or --cache-dir"
+                    " to default it to <cache-dir>/queue)",
+                    file=sys.stderr,
+                )
+                return 2
+            queue_dir = os.path.join(arguments.cache_dir, "queue")
+        backend = make_backend(
+            arguments.backend, shard=shard, queue_dir=queue_dir
+        )
         if arguments.resume:
             if arguments.name is not None:
                 print(
@@ -655,6 +731,10 @@ def _scenario_sweep(arguments) -> int:
                 backend=backend,
                 max_retries=arguments.max_retries,
                 on_outcome=on_outcome,
+                cell_timeout=arguments.cell_timeout,
+                retry_backoff=arguments.retry_backoff,
+                pool_rebuilds=arguments.pool_rebuilds,
+                speculate=arguments.speculate,
             )
         else:
             if arguments.name is None:
@@ -687,6 +767,10 @@ def _scenario_sweep(arguments) -> int:
                 backend=backend,
                 max_retries=arguments.max_retries,
                 on_outcome=on_outcome,
+                cell_timeout=arguments.cell_timeout,
+                retry_backoff=arguments.retry_backoff,
+                pool_rebuilds=arguments.pool_rebuilds,
+                speculate=arguments.speculate,
             )
     except (UnknownScenarioError, ScenarioValidationError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -732,8 +816,9 @@ def _scenario_sweep(arguments) -> int:
         )
     if report.skipped:
         _emit(
-            f"sharded: {report.skipped} cell(s) left to other shards"
-            f" (shared cache converges once every shard has run)"
+            f"cooperating: {report.skipped} cell(s) left to other"
+            f" invocations (shared cache converges once every shard or"
+            f" queue claimant has run)"
         )
     if report.failures:
         if report.cache_dir is not None:
@@ -764,7 +849,9 @@ def _scenario_sweep_status(arguments) -> int:
     if arguments.cache_dir is None:
         print("--status requires --cache-dir", file=sys.stderr)
         return 2
-    status = collect_sweep_status(arguments.cache_dir)
+    status = collect_sweep_status(
+        arguments.cache_dir, lost_after=arguments.lost_after
+    )
     if not status.cells:
         print(
             f"no sweep manifest found in {arguments.cache_dir}",

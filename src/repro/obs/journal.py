@@ -99,19 +99,45 @@ class RunJournal:
         self.close()
 
 
-def iter_journal(path: str) -> Iterator[dict]:
+def iter_journal(
+    path: str, *, tail_bytes: "Optional[int]" = None
+) -> Iterator[dict]:
     """Yield journal events, skipping blank and truncated lines.
 
     A writer killed mid-line leaves a partial JSON tail; readers must
     not crash on it — the preceding lines are still good data.
+
+    ``tail_bytes`` bounds the read to the end of the file: heartbeats
+    append unboundedly, and a status poller that re-reads every
+    journal in full each tick turns O(cells) polls into O(bytes
+    written so far).  When the file is larger than the bound, reading
+    starts *after* the first (almost certainly partial) line past the
+    seek point — the same truncation tolerance writers already get.
     """
+    if tail_bytes is not None and tail_bytes <= 0:
+        raise ValueError(
+            f"tail_bytes must be > 0, got {tail_bytes!r}"
+        )
     try:
-        file = open(path, "r", encoding="utf-8")
+        file = open(path, "rb")
     except OSError:
         return
     with file:
-        for line in file:
-            line = line.strip()
+        truncated_head = False
+        if tail_bytes is not None:
+            file.seek(0, os.SEEK_END)
+            size = file.tell()
+            if size > tail_bytes:
+                file.seek(size - tail_bytes)
+                truncated_head = True
+            else:
+                file.seek(0)
+        for index, raw in enumerate(file):
+            if index == 0 and truncated_head:
+                # The seek landed mid-line; its remainder is not a
+                # trustworthy event even if it happens to parse.
+                continue
+            line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
             try:
@@ -122,6 +148,12 @@ def iter_journal(path: str) -> Iterator[dict]:
                 yield event
 
 
-def read_journal(path: str) -> "List[dict]":
-    """All readable events from a journal file (missing file -> [])."""
-    return list(iter_journal(path))
+def read_journal(
+    path: str, *, tail_bytes: "Optional[int]" = None
+) -> "List[dict]":
+    """All readable events from a journal file (missing file -> []).
+
+    ``tail_bytes`` bounds the read to the file's tail — see
+    :func:`iter_journal`.
+    """
+    return list(iter_journal(path, tail_bytes=tail_bytes))

@@ -12,11 +12,24 @@ Derived cell states:
 * ``running`` — manifest still says ``pending`` but the cell's journal
   has a ``start`` without a matching ``finish``.  Heartbeats supply
   progress (observations, rate, peak RSS).
+* ``lost`` — looked ``running``, but the journal has gone quiet: the
+  last event is older than the staleness threshold (2x the cell's own
+  observed heartbeat interval, or ``lost_after`` when given).  A
+  worker that was OOM-killed or segfaulted mid-cell leaves exactly
+  this trail — a ``start`` with no ``finish`` and no fresh heartbeats
+  — and used to show as ``running`` forever.
 * ``pending`` — no evidence of work yet.
 
 A *straggler* is a running cell whose elapsed time exceeds twice the
 median wall time of the cells that already finished — the first place
-to look when a sweep stalls.
+to look when a sweep stalls.  Straggler math needs at least
+:data:`MIN_STRAGGLER_SAMPLES` finished cells (a single fast cell as
+the "median" used to flag every normal cell) and never counts
+``lost`` cells, which are not slow — they are gone.
+
+Journals are read through a bounded tail
+(:data:`JOURNAL_TAIL_BYTES`): heartbeats append unboundedly and the
+status poller only needs the recent events.
 """
 
 from __future__ import annotations
@@ -31,6 +44,24 @@ from repro.reports.render import render_table
 #: Elapsed-over-median factor past which a running cell is a straggler.
 STRAGGLER_FACTOR = 2.0
 
+#: Finished cells required before the straggler median is trusted.
+MIN_STRAGGLER_SAMPLES = 3
+
+#: A running cell is ``lost`` when its journal has been silent for
+#: this factor times its own observed heartbeat interval.
+LOST_FACTOR = 2.0
+
+#: Floor under the derived staleness threshold — sub-second heartbeat
+#: intervals must not flag a cell between two status polls.
+MIN_LOST_SECONDS = 10.0
+
+#: Fallback staleness threshold when a cell's journal shows no usable
+#: heartbeat interval (e.g. only a ``start`` so far).
+DEFAULT_LOST_AFTER = 300.0
+
+#: How much of each cell journal the status poller reads.
+JOURNAL_TAIL_BYTES = 64 * 1024
+
 
 @dataclass
 class CellStatus:
@@ -38,7 +69,7 @@ class CellStatus:
 
     digest: str
     name: str
-    state: str  # done | failed | running | pending
+    state: str  # done | failed | running | lost | pending
     attempts: int = 0
     started_at: "Optional[float]" = None
     finished_at: "Optional[float]" = None
@@ -86,7 +117,10 @@ class SweepStatus:
     cells: "List[CellStatus]" = field(default_factory=list)
 
     def counts(self) -> "Dict[str, int]":
-        tally = {"done": 0, "failed": 0, "running": 0, "pending": 0}
+        tally = {
+            "done": 0, "failed": 0, "running": 0, "lost": 0,
+            "pending": 0,
+        }
         for cell in self.cells:
             tally[cell.state] = tally.get(cell.state, 0) + 1
         tally["retried"] = sum(1 for cell in self.cells if cell.retried)
@@ -121,9 +155,18 @@ def _journal_view(events: "List[dict]") -> dict:
         "finished": False,
         "last_start_ts": None,
         "heartbeat": None,
+        #: Timestamps of the last two events of any kind — the gap is
+        #: the cell's own observed event cadence, which calibrates the
+        #: ``lost`` staleness threshold.
+        "last_ts": None,
+        "prev_ts": None,
     }
     for event in events:
         kind = event.get("event")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            view["prev_ts"] = view["last_ts"]
+            view["last_ts"] = ts
         if kind == "start":
             view["starts"] += 1
             view["last_start_ts"] = event.get("ts")
@@ -135,13 +178,35 @@ def _journal_view(events: "List[dict]") -> dict:
     return view
 
 
+def _lost_threshold(
+    journal: dict, lost_after: "Optional[float]"
+) -> float:
+    """Seconds of journal silence after which a cell counts as lost."""
+    if lost_after is not None:
+        return lost_after
+    last_ts, prev_ts = journal["last_ts"], journal["prev_ts"]
+    if (
+        last_ts is not None
+        and prev_ts is not None
+        and last_ts > prev_ts
+    ):
+        return max(LOST_FACTOR * (last_ts - prev_ts), MIN_LOST_SECONDS)
+    return DEFAULT_LOST_AFTER
+
+
 def collect_sweep_status(
-    cache_dir: str, *, now: "Optional[float]" = None
+    cache_dir: str,
+    *,
+    now: "Optional[float]" = None,
+    lost_after: "Optional[float]" = None,
 ) -> SweepStatus:
     """Build a :class:`SweepStatus` snapshot from *cache_dir*.
 
     *now* pins the clock for elapsed-time math (tests); defaults to
-    wall time.
+    wall time.  *lost_after* overrides the derived journal-staleness
+    threshold (seconds) past which a running cell is declared
+    ``lost``; the default calibrates per cell from its own heartbeat
+    cadence (see :func:`_lost_threshold`).
     """
     # Imported here, not at module top: runner imports the journal
     # helpers from this package, and obs must stay importable without
@@ -171,7 +236,10 @@ def collect_sweep_status(
         ):
             entry.wall_seconds = entry.finished_at - entry.started_at
         journal = _journal_view(
-            read_journal(cell_journal_path(cache_dir, digest))
+            read_journal(
+                cell_journal_path(cache_dir, digest),
+                tail_bytes=JOURNAL_TAIL_BYTES,
+            )
         )
         if journal["starts"] > entry.attempts:
             entry.attempts = journal["starts"]
@@ -189,17 +257,35 @@ def collect_sweep_status(
             entry.elapsed_seconds = max(
                 0.0, now - journal["last_start_ts"]
             )
+            silence = (
+                now - journal["last_ts"]
+                if journal["last_ts"] is not None
+                else None
+            )
+            if (
+                silence is not None
+                and silence > _lost_threshold(journal, lost_after)
+            ):
+                # A start with no finish *and* a silent journal is a
+                # dead worker's trail, not a running cell.
+                entry.state = "lost"
         status.cells.append(entry)
 
-    median_wall = _median(
-        [
-            cell.wall_seconds
-            for cell in status.cells
-            if cell.state == "done" and cell.wall_seconds is not None
-        ]
+    finished_walls = [
+        cell.wall_seconds
+        for cell in status.cells
+        if cell.state == "done" and cell.wall_seconds is not None
+    ]
+    median_wall = (
+        _median(finished_walls)
+        if len(finished_walls) >= MIN_STRAGGLER_SAMPLES
+        else None
     )
     if median_wall is not None and median_wall > 0:
         for cell in status.cells:
+            # Lost cells are excluded: they are not slow, they are
+            # gone — speculating on them would duplicate dead work's
+            # journal trail, and they already stand out in the table.
             if (
                 cell.state == "running"
                 and cell.elapsed_seconds is not None
@@ -222,6 +308,7 @@ def render_sweep_status(status: SweepStatus) -> str:
         f"sweep @ {status.cache_dir}: "
         f"{counts['done']}/{counts['total']} done, "
         f"{counts['running']} running, {counts['failed']} failed, "
+        f"{counts['lost']} lost, "
         f"{counts['pending']} pending, {counts['retried']} retried"
     )
     rows = []

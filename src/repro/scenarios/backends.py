@@ -32,6 +32,20 @@ implementations:
     through the shared spec-hash cache without ever talking to each
     other.
 
+``queue``
+    A shared work directory instead of a pre-agreed partition: every
+    invocation enqueues the sweep's cells as job files, then claims
+    them one at a time by atomic rename.  N invocations pointed at
+    the same directory — separate shells, machines over NFS — drain
+    the matrix dynamically, each cell computed exactly once, with no
+    coordinator process.  The first rung of the remote backend.
+
+The two pool backends do not drive their executors directly: they
+hand the batch to :class:`repro.scenarios.scheduler.PoolScheduler`,
+which contains worker crashes (one dead worker no longer fails the
+whole batch), enforces per-cell wall-clock timeouts, and can
+speculatively re-dispatch straggler cells.
+
 Every backend speaks the same job protocol: a :class:`SweepJob` is
 ``(digest, name, spec JSON)``, an outcome is either a result JSON
 payload or a :class:`JobFailure` carrying the spec's name, hash and
@@ -46,22 +60,87 @@ runner can checkpoint caches and manifests without locking.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 import traceback as traceback_module
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    as_completed,
 )
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.scenarios.engine import run_scenario_json
 
 #: Names accepted by :func:`make_backend` (``sharded`` additionally
-#: needs a ``shard=(index, count)``).
-BACKEND_NAMES = ("serial", "threads", "processes", "sharded")
+#: needs a ``shard=(index, count)``; ``queue`` needs a ``queue_dir``).
+BACKEND_NAMES = ("serial", "threads", "processes", "sharded", "queue")
+
+#: Ceiling on any single retry-backoff sleep, seconds.
+BACKOFF_CAP = 30.0
+
+
+def backoff_delay(
+    attempt: int, base: float, cap: float = BACKOFF_CAP
+) -> float:
+    """Deterministic exponential backoff: ``base * 2**(attempt-1)``.
+
+    ``attempt`` counts the failures so far (1 after the first), so the
+    schedule for ``base=0.1`` is 0.1s, 0.2s, 0.4s, ... capped at
+    *cap*.  Pure — no jitter — because two runs of the same sweep must
+    make the same scheduling decisions; the sleeps only pace retries,
+    they never reach a result payload.
+    """
+    if base <= 0 or attempt < 1:
+        return 0.0
+    return min(cap, base * (2.0 ** (attempt - 1)))
+
+
+def _inject_fault(name: str) -> None:
+    """Test/CI fault hook, armed purely through the environment.
+
+    ``REPRO_FAULT_KILL=<cell name>`` makes the worker die abruptly
+    (``os._exit``, no Python teardown — indistinguishable from a
+    segfault or OOM kill to the pool) when it picks up that cell;
+    ``REPRO_FAULT_STALL=<cell name>:<seconds>`` makes it hang.  With
+    ``REPRO_FAULT_ONCE_DIR=<dir>`` each fault fires exactly once
+    across every worker sharing the directory (claimed by exclusive
+    file creation), which is how tests model a *transient* crash that
+    a retry survives.  Unset (the normal case) this is a no-op before
+    the first attempt of each cell.
+    """
+    kill = os.environ.get("REPRO_FAULT_KILL")
+    stall = os.environ.get("REPRO_FAULT_STALL")
+    if kill is None and stall is None:
+        return
+    if kill == name and _claim_fault("kill", name):
+        os._exit(86)
+    if stall:
+        stall_name, _, seconds = stall.partition(":")
+        if stall_name == name and _claim_fault("stall", name):
+            time.sleep(float(seconds or "30"))
+
+
+def _claim_fault(kind: str, name: str) -> bool:
+    """True when this worker should fire the fault.
+
+    Without ``REPRO_FAULT_ONCE_DIR`` the fault is unconditional (a
+    deterministic crasher); with it, the first claimant wins and every
+    later attempt runs clean.
+    """
+    once_dir = os.environ.get("REPRO_FAULT_ONCE_DIR")
+    if not once_dir:
+        return True
+    marker = os.path.join(once_dir, f"fault.{kind}.{name}")
+    try:
+        handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(handle)
+    return True
 
 
 @dataclass(frozen=True)
@@ -141,26 +220,33 @@ def attempt_job(
 ) -> "Tuple[str, Optional[str], Optional[str], Optional[str], int, float, float]":
     """Worker entry point shared by every backend.
 
-    Takes ``(name, digest, spec_json, max_retries, journal_path)`` and
-    returns ``(digest, result_json, error, traceback, attempts,
-    started_at, finished_at)`` — plain picklable tuples in both
-    directions so the same function runs inline, on a thread or in a
-    pool process.  Exceptions never propagate: they are retried up to
-    ``max_retries`` times and then reported as data, so one broken
-    cell cannot take down a pool (the old behavior was a bare
-    ``future.result()`` traceback with no hint of which spec died).
+    Takes ``(name, digest, spec_json, max_retries, journal_path[,
+    retry_backoff])`` and returns ``(digest, result_json, error,
+    traceback, attempts, started_at, finished_at)`` — plain picklable
+    tuples in both directions so the same function runs inline, on a
+    thread or in a pool process.  The trailing ``retry_backoff`` is
+    optional so older call sites (and journal replays of them) keep
+    working.  Exceptions never propagate: they are retried up to
+    ``max_retries`` times — sleeping :func:`backoff_delay` between
+    attempts instead of hammering a transient resource failure in a
+    tight loop — and then reported as data, so one broken cell cannot
+    take down a pool (the old behavior was a bare ``future.result()``
+    traceback with no hint of which spec died).
 
     The wall-clock bounds are measured here in the worker, so the
     manifest's per-cell wall time covers actual execution (including
-    retries) and never the time the job sat queued behind a busy pool.
+    retries and backoff sleeps) and never the time the job sat queued
+    behind a busy pool.
     """
-    name, digest, spec_json, max_retries, journal_path = args
+    name, digest, spec_json, max_retries, journal_path, *extra = args
+    retry_backoff = float(extra[0]) if extra else 0.0
     # repro: allow(DET002) wall-clock stamps feed the manifest/status view only; result payloads never carry them (the determinism harness pins this)
     started_at = time.time()
     attempts = 0
     while True:
         attempts += 1
         try:
+            _inject_fault(name)
             if journal_path is None:
                 payload = run_scenario_json(spec_json)
             else:
@@ -183,6 +269,9 @@ def attempt_job(
                     # repro: allow(DET002) failure finish stamp for the manifest/status view; not part of any result payload
                     time.time(),
                 )
+            delay = backoff_delay(attempts, retry_backoff)
+            if delay > 0:
+                time.sleep(delay)
 
 
 def _outcome(job: SweepJob, reply) -> JobOutcome:
@@ -228,6 +317,7 @@ class ExecutionBackend(ABC):
         workers: int = 1,
         max_retries: int = 0,
         on_outcome: "Optional[OutcomeHook]" = None,
+        scheduling=None,
     ) -> "List[JobOutcome]":
         """Execute *jobs* and return one outcome per executed job.
 
@@ -236,7 +326,11 @@ class ExecutionBackend(ABC):
         fires once per outcome, from the coordinating thread, as soon
         as that outcome is known — the runner uses it to checkpoint
         the cache and manifest so a killed sweep loses at most the
-        cells that were mid-flight.
+        cells that were mid-flight.  ``scheduling`` is an optional
+        :class:`repro.scenarios.scheduler.SchedulerConfig`; backends
+        honor the knobs they can (pools: timeouts, rebuild budget,
+        speculation; serial and queue: the retry backoff) and ignore
+        the rest.
         """
 
     def map_json(
@@ -264,13 +358,19 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def run_jobs(self, jobs, *, workers=1, max_retries=0, on_outcome=None):
+    def run_jobs(
+        self, jobs, *, workers=1, max_retries=0, on_outcome=None,
+        scheduling=None,
+    ):
+        retry_backoff = (
+            scheduling.retry_backoff if scheduling is not None else 0.0
+        )
         outcomes: "List[JobOutcome]" = []
         for job in jobs:
             reply = attempt_job(
                 (
                     job.name, job.digest, job.spec_json, max_retries,
-                    job.journal_path,
+                    job.journal_path, retry_backoff,
                 )
             )
             outcome = _outcome(job, reply)
@@ -281,61 +381,56 @@ class SerialBackend(ExecutionBackend):
 
 
 class _PoolBackend(ExecutionBackend):
-    """Shared submit/collect loop for the two executor-pool backends."""
+    """Shared scheduling front end for the two executor-pool backends.
+
+    Execution is delegated to
+    :class:`repro.scenarios.scheduler.PoolScheduler`, which contains
+    worker crashes (one dead worker used to break the whole executor
+    and fail every in-flight and queued cell as ``worker died`` with
+    ``attempts=1``), enforces per-cell timeouts and can speculate on
+    stragglers.  Outcomes come back in original job order.
+    """
+
+    #: Whether a stuck worker can actually be killed (processes) or
+    #: only abandoned (threads).
+    reapable = False
 
     def _make_pool(self, workers: int):
         raise NotImplementedError
 
-    def run_jobs(self, jobs, *, workers=1, max_retries=0, on_outcome=None):
+    def run_jobs(
+        self, jobs, *, workers=1, max_retries=0, on_outcome=None,
+        scheduling=None,
+    ):
         if not jobs:
             return []
-        if workers == 1 or len(jobs) == 1:
-            # One lane is just the serial loop; skip the pool overhead
-            # (and, for processes, the fork) entirely.  The determinism
-            # suite pins that this shortcut changes no payload byte.
+        # Imported here, not at module top: the scheduler imports this
+        # module for the job protocol.
+        from repro.scenarios.scheduler import PoolScheduler, SchedulerConfig
+
+        config = scheduling or SchedulerConfig(retry_backoff=0.0)
+        if (
+            (workers == 1 or len(jobs) == 1)
+            and config.cell_timeout is None
+            and not config.speculate
+        ):
+            # One lane with no scheduling to do is just the serial
+            # loop; skip the pool overhead (and, for processes, the
+            # fork) entirely.  The determinism suite pins that this
+            # shortcut changes no payload byte.
             return SerialBackend().run_jobs(
-                jobs, max_retries=max_retries, on_outcome=on_outcome
+                jobs, max_retries=max_retries, on_outcome=on_outcome,
+                scheduling=scheduling,
             )
-        outcomes: "List[JobOutcome]" = []
-        with self._make_pool(min(workers, len(jobs))) as pool:
-            futures = {
-                pool.submit(
-                    attempt_job,
-                    (
-                        job.name, job.digest, job.spec_json, max_retries,
-                        job.journal_path,
-                    ),
-                ): job
-                for job in jobs
-            }
-            for future in as_completed(futures):
-                job = futures[future]
-                try:
-                    reply = future.result()
-                except Exception as exc:  # noqa: BLE001
-                    # attempt_job never raises, so landing here means
-                    # the worker itself died (segfault, OOM kill —
-                    # BrokenProcessPool) or the pool broke down.  Fold
-                    # it into a failure like any other so the sweep
-                    # keeps its remaining cells instead of aborting
-                    # with an anonymous pool traceback.
-                    reply = (
-                        job.digest,
-                        None,
-                        f"worker died: {type(exc).__name__}: {exc}",
-                        traceback_module.format_exc(),
-                        1,
-                        None,
-                        None,
-                    )
-                outcome = _outcome(job, reply)
-                outcomes.append(outcome)
-                if on_outcome is not None:
-                    on_outcome(outcome)
-        # Deterministic reporting order regardless of completion order.
-        order = {job.digest: index for index, job in enumerate(jobs)}
-        outcomes.sort(key=lambda outcome: order[outcome.job.digest])
-        return outcomes
+        scheduler = PoolScheduler(
+            make_pool=self._make_pool,
+            reapable=self.reapable,
+            workers=min(workers, len(jobs)),
+            max_retries=max_retries,
+            on_outcome=on_outcome,
+            config=config,
+        )
+        return scheduler.run(jobs)
 
     def map_json(self, task, payloads, *, workers=1):
         if workers <= 1 or len(payloads) <= 1:
@@ -352,6 +447,7 @@ class ThreadBackend(_PoolBackend):
     """Thread pool — for I/O-bound cells (mrt replay, remote feeds)."""
 
     name = "threads"
+    reapable = False
 
     def _make_pool(self, workers: int):
         return ThreadPoolExecutor(max_workers=workers)
@@ -361,6 +457,7 @@ class ProcessBackend(_PoolBackend):
     """Process pool — the CPU-bound default (the original behavior)."""
 
     name = "processes"
+    reapable = True
 
     def _make_pool(self, workers: int):
         return ProcessPoolExecutor(max_workers=workers)
@@ -407,19 +504,312 @@ class ShardedBackend(ExecutionBackend):
         """True when this shard is responsible for *digest*."""
         return shard_of(digest, self.shard_count) == self.shard_index
 
-    def run_jobs(self, jobs, *, workers=1, max_retries=0, on_outcome=None):
+    def run_jobs(
+        self, jobs, *, workers=1, max_retries=0, on_outcome=None,
+        scheduling=None,
+    ):
         owned = [job for job in jobs if job.digest and self.owns(job.digest)]
         return self.inner.run_jobs(
             owned,
             workers=workers,
             max_retries=max_retries,
             on_outcome=on_outcome,
+            scheduling=scheduling,
         )
 
     def map_json(self, task, payloads, *, workers=1):
         # Decode shards are not sweep cells: the partition is already
         # decided by the shard plan, so delegate execution untouched.
         return self.inner.map_json(task, payloads, workers=workers)
+
+
+class QueueBackend(ExecutionBackend):
+    """A shared work directory as the job queue — the remote rung.
+
+    Layout under ``work_dir``::
+
+        todo/<digest>.json     enqueued cell, waiting for a claimant
+        claimed/<digest>.json  renamed out of todo/ by its executor
+        done/<digest>.json     the executor's reply record
+        seen/<digest>.<gen>    exclusive-creation enqueue markers
+
+    Exactly-once execution rests on two filesystem primitives that
+    are atomic on POSIX (and over NFS):
+
+    * **Claiming is ``os.rename``** — of two invocations racing for
+      ``todo/x.json``, exactly one rename succeeds; the loser gets
+      ``FileNotFoundError`` and moves on.
+    * **Enqueueing is ``O_CREAT | O_EXCL``** on a generation-numbered
+      ``seen/`` marker — of two invocations discovering the same cell
+      (or re-enqueueing the same failed attempt), exactly one creates
+      the marker and writes the todo file, so a cell claimed and
+      executed in the gap cannot be re-queued by a slow peer.
+
+    A cell another invocation already finished is *adopted*: its
+    ``done/`` record is folded into this invocation's outcomes (and
+    thereby the shared cache/manifest) without recomputation.  Cells
+    still claimed by a live peer are left to it — like a sharded
+    invocation, this one simply reports them as skipped; the peers
+    converge through the shared cache.  A claim whose file has not
+    been touched for ``stale_claim_seconds`` (a claimant machine died
+    mid-cell) can be requeued by renaming it back into ``todo/``.
+
+    Cells execute inline (``attempt_job`` in this process), so
+    per-invocation parallelism comes from running N invocations, not
+    from ``workers``.
+    """
+
+    name = "queue"
+
+    _KINDS = ("todo", "claimed", "done", "seen")
+
+    def __init__(
+        self,
+        work_dir: str,
+        *,
+        stale_claim_seconds: "Optional[float]" = None,
+    ):
+        if not work_dir:
+            raise ValueError("queue backend needs a work_dir")
+        if stale_claim_seconds is not None and stale_claim_seconds <= 0:
+            raise ValueError(
+                f"stale_claim_seconds must be > 0,"
+                f" got {stale_claim_seconds!r}"
+            )
+        self.work_dir = str(work_dir)
+        self.stale_claim_seconds = stale_claim_seconds
+
+    # -- paths ---------------------------------------------------------
+    def _dir(self, kind: str) -> str:
+        return os.path.join(self.work_dir, kind)
+
+    def _path(self, kind: str, digest: str) -> str:
+        return os.path.join(self._dir(kind), f"{digest}.json")
+
+    def _ensure_dirs(self) -> None:
+        for kind in self._KINDS:
+            os.makedirs(self._dir(kind), exist_ok=True)
+
+    # -- done records --------------------------------------------------
+    def _read_done(self, digest: str) -> "Optional[dict]":
+        try:
+            with open(
+                self._path("done", digest), "r", encoding="utf-8"
+            ) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _write_done(
+        self, digest: str, generation: int, reply
+    ) -> None:
+        record = {
+            "digest": digest,
+            "generation": generation,
+            "result_json": reply[1],
+            "error": reply[2],
+            "traceback": reply[3],
+            "attempts": reply[4],
+            "started_at": reply[5],
+            "finished_at": reply[6],
+        }
+        path = self._path("done", digest)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True))
+        os.replace(temporary, path)
+
+    @staticmethod
+    def _done_ok(record: dict) -> bool:
+        return record.get("result_json") is not None
+
+    # -- enqueue / claim -----------------------------------------------
+    def _enqueue(self, job: SweepJob) -> None:
+        digest = job.digest
+        done_record = self._read_done(digest)
+        if done_record is not None and self._done_ok(done_record):
+            return  # success on disk: adopted later, never recomputed
+        generation = (
+            int(done_record.get("generation", 0)) + 1
+            if done_record is not None
+            else 0
+        )
+        marker = os.path.join(
+            self._dir("seen"), f"{digest}.{generation}"
+        )
+        try:
+            handle = os.open(
+                marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            # A peer (or an earlier run) already enqueued this
+            # generation; whatever happened to it since — claimed,
+            # executing, done — re-queueing would double-compute.
+            return
+        os.close(handle)
+        payload = {
+            "digest": digest,
+            "name": job.name,
+            "spec_json": job.spec_json,
+            "journal_path": job.journal_path,
+            "generation": generation,
+        }
+        path = self._path("todo", digest)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True))
+        os.replace(temporary, path)
+
+    def _claim(self, digest: str) -> "Optional[int]":
+        """Try to claim a todo cell; returns its generation or None."""
+        todo, claimed = (
+            self._path("todo", digest), self._path("claimed", digest)
+        )
+        try:
+            os.rename(todo, claimed)
+        except OSError:
+            return None  # a peer won the rename (or it was never there)
+        try:
+            with open(claimed, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            generation = int(payload.get("generation", 0))
+        except (OSError, ValueError):
+            generation = 0
+        return generation
+
+    def _unclaim(self, digest: str) -> None:
+        try:
+            os.remove(self._path("claimed", digest))
+        except OSError:
+            pass
+
+    def _todo_digests(self) -> "List[str]":
+        try:
+            entries = os.listdir(self._dir("todo"))
+        except OSError:
+            return []
+        return sorted(
+            entry[: -len(".json")]
+            for entry in entries
+            if entry.endswith(".json") and ".tmp." not in entry
+        )
+
+    def _requeue_stale(self, digests: "Sequence[str]") -> bool:
+        """Rename stale claims back into todo/; True if any moved."""
+        if self.stale_claim_seconds is None:
+            return False
+        requeued = False
+        # repro: allow(DET002) claim staleness is judged against file mtimes — wall clock by nature, never in a payload
+        now = time.time()
+        for digest in digests:
+            claimed = self._path("claimed", digest)
+            try:
+                age = now - os.stat(claimed).st_mtime
+            except OSError:
+                continue
+            if age <= self.stale_claim_seconds:
+                continue
+            try:
+                os.rename(claimed, self._path("todo", digest))
+            except OSError:
+                continue  # the claimant finished (or a peer requeued)
+            requeued = True
+            obs_metrics.count("queue.requeued_stale")
+        return requeued
+
+    def _adopt(self, job: SweepJob) -> "Optional[JobOutcome]":
+        """Fold a peer-computed done record into an outcome, if any."""
+        digest = job.digest
+        if os.path.exists(self._path("todo", digest)) or os.path.exists(
+            self._path("claimed", digest)
+        ):
+            return None  # still in flight somewhere
+        record = self._read_done(digest)
+        if record is None:
+            return None
+        if record.get("result_json") is None and not record.get("error"):
+            return None
+        reply = (
+            digest,
+            record.get("result_json"),
+            record.get("error"),
+            record.get("traceback"),
+            int(record.get("attempts", 1) or 1),
+            record.get("started_at"),
+            record.get("finished_at"),
+        )
+        return _outcome(job, reply)
+
+    # -- execution -----------------------------------------------------
+    def run_jobs(
+        self, jobs, *, workers=1, max_retries=0, on_outcome=None,
+        scheduling=None,
+    ):
+        if not jobs:
+            return []
+        self._ensure_dirs()
+        retry_backoff = (
+            scheduling.retry_backoff if scheduling is not None else 0.0
+        )
+        jobs_by_digest = {job.digest: job for job in jobs}
+        for job in jobs:
+            self._enqueue(job)
+        outcomes: "List[JobOutcome]" = []
+        resolved: "set[str]" = set()
+
+        def emit(outcome: JobOutcome) -> None:
+            resolved.add(outcome.job.digest)
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        while True:
+            progressed = False
+            for digest in self._todo_digests():
+                if digest in resolved or digest not in jobs_by_digest:
+                    continue  # a peer's cell, or already settled here
+                generation = self._claim(digest)
+                if generation is None:
+                    continue  # a peer won the claim race
+                job = jobs_by_digest[digest]
+                reply = attempt_job(
+                    (
+                        job.name, job.digest, job.spec_json,
+                        max_retries, job.journal_path, retry_backoff,
+                    )
+                )
+                self._write_done(digest, generation, reply)
+                self._unclaim(digest)
+                emit(_outcome(job, reply))
+                progressed = True
+            unresolved = [
+                digest for digest in jobs_by_digest
+                if digest not in resolved
+            ]
+            if not unresolved:
+                break
+            for digest in unresolved:
+                adopted = self._adopt(jobs_by_digest[digest])
+                if adopted is not None:
+                    obs_metrics.count("queue.adopted")
+                    emit(adopted)
+                    progressed = True
+            if all(digest in resolved for digest in jobs_by_digest):
+                break
+            if progressed:
+                continue
+            if self._requeue_stale(
+                [d for d in jobs_by_digest if d not in resolved]
+            ):
+                continue
+            # Everything left is claimed by a live peer: leave it to
+            # them, sharded-style — the shared cache/manifest is where
+            # the invocations converge.
+            break
+        order = {job.digest: index for index, job in enumerate(jobs)}
+        outcomes.sort(key=lambda outcome: order[outcome.job.digest])
+        return outcomes
 
 
 def parse_shard(text: str) -> "Tuple[int, int]":
@@ -450,12 +840,15 @@ def make_backend(
     backend: "ExecutionBackend | str | None" = None,
     *,
     shard: "Optional[Tuple[int, int]]" = None,
+    queue_dir: "Optional[str]" = None,
 ) -> ExecutionBackend:
     """Resolve a backend name/instance, optionally wrapped in a shard.
 
     ``None`` means the default (``processes``).  ``shard=(i, n)``
     wraps whatever was chosen in a :class:`ShardedBackend`, so
     ``--backend threads --shard 1/4`` composes the way you'd hope.
+    ``queue`` needs *queue_dir*, the shared work directory the
+    cooperating invocations drain.
     """
     if isinstance(backend, ExecutionBackend):
         resolved = backend
@@ -468,6 +861,14 @@ def make_backend(
                 " (CLI: --shard I/N)"
             )
         resolved = None  # built below, around the default inner
+    elif backend == "queue":
+        if queue_dir is None:
+            raise ValueError(
+                "backend 'queue' needs queue_dir, the shared work"
+                " directory (CLI: --queue-dir, or --cache-dir to"
+                " default it to <cache-dir>/queue)"
+            )
+        resolved = QueueBackend(queue_dir)
     else:
         try:
             resolved = _FACTORIES[backend]()

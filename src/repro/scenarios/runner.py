@@ -45,6 +45,7 @@ from repro.scenarios.backends import (
     make_backend,
 )
 from repro.scenarios.engine import ScenarioResult, run_scenario_json
+from repro.scenarios.scheduler import SchedulerConfig
 from repro.scenarios.serialize import (
     failure_from_dict,
     failure_to_dict,
@@ -265,7 +266,13 @@ class SweepManifest:
                     ours.pop("failure", None)
                 for key in _TIMING_KEYS:
                     if key in cell:
-                        ours[key] = cell[key]
+                        if key == "attempts" and key in ours:
+                            # Attempts accumulate per invocation;
+                            # merging takes the larger running total
+                            # rather than double-adding.
+                            ours[key] = max(ours[key], cell[key])
+                        else:
+                            ours[key] = cell[key]
             else:
                 # Equal or behind on state: still adopt timing we lack
                 # (another shard computed the cell; we only cached it).
@@ -335,7 +342,14 @@ class SweepManifest:
         else:
             cell.pop("failure", None)
         if attempts is not None:
-            cell["attempts"] = attempts
+            # Accumulate, don't overwrite: a resumed cell's new
+            # attempts add to what earlier invocations already burned,
+            # so retry accounting across --resume stays truthful (the
+            # old behavior reset a thrice-failed cell to attempts=1
+            # when the resume finally succeeded).
+            cell["attempts"] = (
+                int(cell.get("attempts", 0) or 0) + attempts
+            )
         if started_at is not None:
             cell["started_at"] = started_at
         if finished_at is not None:
@@ -376,6 +390,10 @@ class SweepRunner:
         backend: "ExecutionBackend | str | None" = None,
         max_retries: int = 0,
         on_outcome: "Optional[OutcomeHook]" = None,
+        cell_timeout: "Optional[float]" = None,
+        retry_backoff: "Optional[float]" = None,
+        pool_rebuilds: "Optional[int]" = None,
+        speculate: bool = False,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
@@ -387,6 +405,24 @@ class SweepRunner:
         self.cache_dir = cache_dir
         self.backend = make_backend(backend)
         self.max_retries = max_retries
+        #: Scheduling knobs handed to the backend wholesale — pool
+        #: backends honor all of them, serial/queue apply the backoff.
+        defaults = SchedulerConfig()
+        self.scheduling = SchedulerConfig(
+            cell_timeout=cell_timeout,
+            retry_backoff=(
+                defaults.retry_backoff
+                if retry_backoff is None
+                else retry_backoff
+            ),
+            pool_rebuilds=(
+                defaults.pool_rebuilds
+                if pool_rebuilds is None
+                else pool_rebuilds
+            ),
+            speculate=speculate,
+        )
+        self.scheduling.validate()
         #: Observer fired per computed cell, after the cache/manifest
         #: checkpoint — the CLI's ``--progress`` stream hangs off it.
         self.on_outcome = on_outcome
@@ -513,6 +549,7 @@ class SweepRunner:
             workers=self.workers,
             max_retries=self.max_retries,
             on_outcome=checkpoint,
+            scheduling=self.scheduling,
         )
         if manifest is not None:
             manifest.save()
@@ -533,6 +570,10 @@ def run_sweep(
     backend: "ExecutionBackend | str | None" = None,
     max_retries: int = 0,
     on_outcome: "Optional[OutcomeHook]" = None,
+    cell_timeout: "Optional[float]" = None,
+    retry_backoff: "Optional[float]" = None,
+    pool_rebuilds: "Optional[int]" = None,
+    speculate: bool = False,
 ) -> SweepReport:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
@@ -541,6 +582,10 @@ def run_sweep(
         backend=backend,
         max_retries=max_retries,
         on_outcome=on_outcome,
+        cell_timeout=cell_timeout,
+        retry_backoff=retry_backoff,
+        pool_rebuilds=pool_rebuilds,
+        speculate=speculate,
     ).run(specs)
 
 
@@ -551,6 +596,10 @@ def resume_sweep(
     backend: "ExecutionBackend | str | None" = None,
     max_retries: int = 0,
     on_outcome: "Optional[OutcomeHook]" = None,
+    cell_timeout: "Optional[float]" = None,
+    retry_backoff: "Optional[float]" = None,
+    pool_rebuilds: "Optional[int]" = None,
+    speculate: bool = False,
 ) -> SweepReport:
     """Finish a sweep recorded in *cache_dir*'s manifest.
 
@@ -573,4 +622,8 @@ def resume_sweep(
         backend=backend,
         max_retries=max_retries,
         on_outcome=on_outcome,
+        cell_timeout=cell_timeout,
+        retry_backoff=retry_backoff,
+        pool_rebuilds=pool_rebuilds,
+        speculate=speculate,
     ).run(manifest.specs())

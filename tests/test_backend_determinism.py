@@ -17,6 +17,7 @@ from repro.scenarios import (
     InternetSpec,
     MrtSpec,
     ProcessBackend,
+    QueueBackend,
     ScenarioSpec,
     SerialBackend,
     ShardedBackend,
@@ -45,7 +46,7 @@ TINY_TOPOLOGY = dict(
 )
 
 SMOKE_KEYS = ("internet", "ablation", "lab", "mrt")
-BACKEND_KEYS = ("serial", "threads", "processes", "sharded")
+BACKEND_KEYS = ("serial", "threads", "processes", "sharded", "queue")
 
 
 @pytest.fixture(scope="module")
@@ -108,13 +109,15 @@ def smoke_spec(key: str, spilled_archive: str) -> ScenarioSpec:
     )
 
 
-def make_smoke_backend(key: str, spec: ScenarioSpec):
+def make_smoke_backend(key: str, spec: ScenarioSpec, work_dir: str):
     if key == "serial":
         return SerialBackend()
     if key == "threads":
         return ThreadBackend()
     if key == "processes":
         return ProcessBackend()
+    if key == "queue":
+        return QueueBackend(work_dir)
     # The shard that owns this spec, so the single-cell sweep runs.
     return ShardedBackend(
         shard_of(spec_hash(spec), 2), 2, inner=SerialBackend()
@@ -138,10 +141,10 @@ def reference_payloads(spilled_archive):
 @pytest.mark.parametrize("backend_key", BACKEND_KEYS)
 @pytest.mark.parametrize("spec_key", SMOKE_KEYS)
 def test_payload_byte_identical_across_backends(
-    spec_key, backend_key, spilled_archive, reference_payloads
+    spec_key, backend_key, spilled_archive, reference_payloads, tmp_path
 ):
     spec = smoke_spec(spec_key, spilled_archive)
-    backend = make_smoke_backend(backend_key, spec)
+    backend = make_smoke_backend(backend_key, spec, str(tmp_path / "q"))
     report = SweepRunner(workers=1, backend=backend).run([spec])
     assert not report.failures
     assert len(report.results) == 1
@@ -193,3 +196,38 @@ def test_sharded_halves_reassemble_the_serial_sweep(
     assert [result_to_json(result) for result in converged.results] == [
         result_to_json(result) for result in serial.results
     ]
+
+
+def test_queue_invocations_reassemble_the_serial_sweep(
+    spilled_archive, tmp_path
+):
+    # Two queue invocations draining one work dir: the first computes
+    # everything, the second (with its own cache, as a second machine
+    # would have) adopts the done records without recomputing; both
+    # caches end up byte-identical to a serial run.  (Concurrent
+    # invocations are covered in the scheduler suite; here the
+    # question is the bytes.)
+    work_dir = str(tmp_path / "queue")
+    specs = expand_seeds(
+        smoke_spec("internet", spilled_archive), (1, 2, 3, 4)
+    )
+    serial = run_sweep(specs, workers=1, backend="serial")
+    serial_payloads = [
+        result_to_json(result) for result in serial.results
+    ]
+    for invocation in range(2):
+        cache = str(tmp_path / f"cache{invocation}")
+        report = run_sweep(
+            specs,
+            workers=1,
+            backend=QueueBackend(work_dir),
+            cache_dir=cache,
+        )
+        assert not report.failures
+        converged = run_sweep(
+            specs, workers=1, backend="serial", cache_dir=cache
+        )
+        assert converged.cache_hits == len(specs)
+        assert [
+            result_to_json(result) for result in converged.results
+        ] == serial_payloads

@@ -3,6 +3,8 @@
 import json
 import os
 
+import pytest
+
 from repro.obs.journal import (
     RunJournal,
     cell_journal_path,
@@ -75,3 +77,47 @@ class TestRunJournal:
 
     def test_peak_rss_is_positive_here(self):
         assert peak_rss_kb() > 0
+
+
+class TestTailBytes:
+    def write_events(self, path, count):
+        with open(path, "w", encoding="utf-8") as handle:
+            for index in range(count):
+                handle.write(
+                    json.dumps({"event": "heartbeat", "ts": float(index)})
+                    + "\n"
+                )
+
+    def test_small_file_read_in_full(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        self.write_events(path, 5)
+        events = read_journal(path, tail_bytes=1 << 20)
+        assert len(events) == 5
+        assert events[0]["ts"] == 0.0
+
+    def test_large_file_reads_only_the_tail(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        self.write_events(path, 1000)
+        full = read_journal(path)
+        tail = read_journal(path, tail_bytes=512)
+        assert len(tail) < len(full)
+        # Tail events are a suffix of the full read, in order.
+        assert tail == full[len(full) - len(tail):]
+        assert tail[-1]["ts"] == 999.0
+
+    def test_tail_skips_the_partial_first_line(self, tmp_path):
+        # Seeking into the middle of a line must not yield a mangled
+        # (or coincidentally parseable) half-event.
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"event": "start", "ts": 1.0}) + "\n")
+            handle.write(json.dumps({"event": "finish", "ts": 2.0}) + "\n")
+        size = os.path.getsize(path)
+        events = read_journal(path, tail_bytes=size - 3)
+        assert [event["event"] for event in events] == ["finish"]
+
+    def test_tail_bytes_must_be_positive(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        self.write_events(path, 1)
+        with pytest.raises(ValueError, match="tail_bytes"):
+            read_journal(path, tail_bytes=0)

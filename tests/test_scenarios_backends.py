@@ -90,10 +90,16 @@ class TestMakeBackend:
         backend = make_backend("sharded", shard=(0, 2))
         assert isinstance(backend.inner, ProcessBackend)
 
-    def test_all_names_are_constructible(self):
+    def test_all_names_are_constructible(self, tmp_path):
         for name in BACKEND_NAMES:
             shard = (0, 1) if name == "sharded" else None
-            assert make_backend(name, shard=shard).name in BACKEND_NAMES
+            queue_dir = str(tmp_path / "queue") if name == "queue" else None
+            backend = make_backend(name, shard=shard, queue_dir=queue_dir)
+            assert backend.name in BACKEND_NAMES
+
+    def test_queue_name_needs_work_dir(self):
+        with pytest.raises(ValueError, match="queue"):
+            make_backend("queue")
 
 
 class TestParseShard:

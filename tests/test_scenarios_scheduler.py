@@ -1,0 +1,538 @@
+"""The sweep scheduler: crash containment, timeouts, backoff, queue.
+
+The regression at the heart of this suite: one abruptly-dead worker
+(``os._exit``, as a segfault or OOM kill looks to the pool) used to
+break the whole ``ProcessPoolExecutor`` and fail *every* in-flight and
+queued cell as ``worker died`` with ``attempts=1``.  These tests pin
+the repaired behavior — siblings survive, the killer is charged
+exactly, timeouts reap, retries back off deterministically — plus the
+``queue`` backend's exactly-once claims.
+
+Fault injection is environment-driven (``REPRO_FAULT_KILL`` /
+``REPRO_FAULT_STALL`` / ``REPRO_FAULT_ONCE_DIR``) so the faults reach
+real forked pool workers, exactly as ``scripts/ci.sh`` arms them.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.scenarios import backends as backends_module
+from repro.scenarios import (
+    QueueBackend,
+    SweepJob,
+    backoff_delay,
+    expand_seeds,
+    get_scenario,
+    resume_sweep,
+    run_sweep,
+    spec_hash,
+)
+from repro.scenarios.runner import SweepManifest
+from repro.scenarios.scheduler import PoolScheduler, SchedulerConfig
+
+#: The cheapest registry scenario (~ms per cell) — crash/timeout
+#: mechanics dominate the wall time, not the simulations.
+CHEAP = "lab-junos"
+
+
+def cheap_specs(seeds):
+    return expand_seeds(get_scenario(CHEAP), seeds)
+
+
+class TestBackoffDelay:
+    def test_schedule_doubles_from_base(self):
+        assert [backoff_delay(n, 0.1) for n in (1, 2, 3, 4)] == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.8),
+        ]
+
+    def test_deterministic(self):
+        assert backoff_delay(3, 0.25) == backoff_delay(3, 0.25)
+
+    def test_capped(self):
+        assert backoff_delay(30, 0.1) == 30.0
+        assert backoff_delay(5, 2.0, cap=3.0) == 3.0
+
+    def test_disabled_for_zero_base_or_bad_attempt(self):
+        assert backoff_delay(3, 0.0) == 0.0
+        assert backoff_delay(0, 1.0) == 0.0
+
+
+class TestAttemptJobBackoff:
+    def test_sleeps_follow_the_schedule(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+
+        def always_raises(spec_json, journal_path=None):
+            raise RuntimeError("flaky")
+
+        monkeypatch.setattr(
+            backends_module, "run_scenario_json", always_raises
+        )
+        reply = backends_module.attempt_job(
+            ("cell", "d1", "{}", 3, None, 0.1)
+        )
+        assert reply[1] is None
+        assert reply[4] == 4  # 1 + 3 retries
+        assert sleeps == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+        ]
+
+    def test_no_sleep_with_zero_backoff(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+
+        def always_raises(spec_json, journal_path=None):
+            raise RuntimeError("flaky")
+
+        monkeypatch.setattr(
+            backends_module, "run_scenario_json", always_raises
+        )
+        backends_module.attempt_job(("cell", "d1", "{}", 2, None, 0.0))
+        assert sleeps == []
+
+
+class TestSchedulerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cell_timeout=0.0),
+            dict(cell_timeout=-1.0),
+            dict(retry_backoff=-0.1),
+            dict(pool_rebuilds=-1),
+            dict(straggler_factor=0.0),
+            dict(min_straggler_samples=0),
+            dict(poll_interval=0.0),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            SchedulerConfig(**kwargs).validate()
+
+    def test_defaults_validate(self):
+        SchedulerConfig().validate()
+
+
+class TestDeadWorkerCascade:
+    """The tentpole: one dead worker must not fail its siblings."""
+
+    def test_transient_kill_survived_by_pool_rebuild(
+        self, monkeypatch, tmp_path
+    ):
+        # The worker picking up seed2 os._exits once; the rebuilt pool
+        # completes the whole sweep with zero failures.
+        monkeypatch.setenv("REPRO_FAULT_KILL", f"{CHEAP}@seed2")
+        monkeypatch.setenv("REPRO_FAULT_ONCE_DIR", str(tmp_path))
+        report = run_sweep(
+            cheap_specs((1, 2, 3)),
+            workers=2,
+            backend="processes",
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert report.failures == []
+        assert len(report.results) == 3
+
+    def test_deterministic_crasher_fails_alone(
+        self, monkeypatch, tmp_path
+    ):
+        # No ONCE_DIR: the cell kills its worker on *every* attempt.
+        # Rebuild budget spends, isolation attributes the crash, and
+        # exactly that cell fails while both siblings complete — the
+        # pre-fix behavior was three "worker died" failures.
+        specs = cheap_specs((1, 2, 3))
+        monkeypatch.setenv("REPRO_FAULT_KILL", f"{CHEAP}@seed2")
+        cache = str(tmp_path / "cache")
+        report = run_sweep(
+            specs, workers=2, backend="processes", cache_dir=cache
+        )
+        assert [failure.name for failure in report.failures] == [
+            f"{CHEAP}@seed2"
+        ]
+        assert "worker died" in report.failures[0].error
+        assert sorted(result.name for result in report.results) == [
+            f"{CHEAP}@seed1",
+            f"{CHEAP}@seed3",
+        ]
+        states = SweepManifest.load(cache).states()
+        by_name = {
+            spec.name: states[spec_hash(spec)] for spec in specs
+        }
+        assert by_name == {
+            f"{CHEAP}@seed1": "done",
+            f"{CHEAP}@seed2": "failed",
+            f"{CHEAP}@seed3": "done",
+        }
+
+    def test_killed_cell_recovers_on_resume(self, monkeypatch, tmp_path):
+        # After the crasher is fixed (fault unset), --resume recomputes
+        # only the failed cell and its attempts keep accumulating.
+        specs = cheap_specs((1, 2))
+        cache = str(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_FAULT_KILL", f"{CHEAP}@seed1")
+        first = run_sweep(
+            specs, workers=2, backend="processes", cache_dir=cache
+        )
+        assert len(first.failures) == 1
+        monkeypatch.delenv("REPRO_FAULT_KILL")
+        second = resume_sweep(cache, workers=2, backend="processes")
+        assert second.failures == []
+        assert len(second.results) == 2
+        assert second.cache_hits == 1  # the innocent sibling
+        digest = spec_hash(specs[0])
+        attempts = SweepManifest.load(cache).cells[digest]["attempts"]
+        # The crash run reports 2 (the isolation-charged crash + the
+        # final fatal attempt); the clean resume adds its 1.  The
+        # pre-fix behavior reset the count to 1 on success.
+        assert attempts == 3
+
+
+class TestCellTimeout:
+    def test_stuck_cell_reaped_and_reported(self, monkeypatch, tmp_path):
+        # seed2's worker stalls 60s; with a 1s budget it is reaped and
+        # lands as a `timeout:` failure while the siblings finish.
+        monkeypatch.setenv("REPRO_FAULT_STALL", f"{CHEAP}@seed2:60")
+        started = time.monotonic()
+        report = run_sweep(
+            cheap_specs((1, 2, 3)),
+            workers=2,
+            backend="processes",
+            cache_dir=str(tmp_path / "cache"),
+            cell_timeout=1.0,
+        )
+        elapsed = time.monotonic() - started
+        assert [failure.name for failure in report.failures] == [
+            f"{CHEAP}@seed2"
+        ]
+        assert report.failures[0].error.startswith("timeout:")
+        assert len(report.results) == 2
+        # The reap actually freed us from the 60s stall.
+        assert elapsed < 30.0
+
+    def test_transient_stall_retries_within_budget(
+        self, monkeypatch, tmp_path
+    ):
+        # The stall fires once; with one retry the cell completes on
+        # its second attempt, and the charged (reaped) first attempt
+        # shows up in the attempt count.
+        monkeypatch.setenv("REPRO_FAULT_STALL", f"{CHEAP}@seed2:60")
+        monkeypatch.setenv("REPRO_FAULT_ONCE_DIR", str(tmp_path))
+        specs = cheap_specs((1, 2, 3))
+        report = run_sweep(
+            specs,
+            workers=2,
+            backend="processes",
+            cache_dir=str(tmp_path / "cache"),
+            cell_timeout=1.0,
+            max_retries=1,
+            retry_backoff=0.01,
+        )
+        assert report.failures == []
+        assert len(report.results) == 3
+        assert report.cell_attempts[spec_hash(specs[1])] == 2
+
+
+def reply_ok(digest, wall=0.05):
+    """A canned successful worker reply with a pinned wall time."""
+    return (
+        digest, json.dumps({"cell": digest}), None, None, 1, 0.0, wall,
+    )
+
+
+class TestPoolSchedulerUnit:
+    """Thread-pool unit tests with a scripted attempt_job."""
+
+    def make_scheduler(self, config, *, workers=2, max_retries=0):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return PoolScheduler(
+            make_pool=lambda n: ThreadPoolExecutor(max_workers=n),
+            reapable=False,
+            workers=workers,
+            max_retries=max_retries,
+            config=config,
+        )
+
+    def test_raising_entry_point_is_a_contained_death(
+        self, monkeypatch
+    ):
+        # attempt_job never raises in production; if it somehow does
+        # (a broken monkeypatch, an import error in a worker), the
+        # cell fails alone instead of the batch.
+        def scripted(args):
+            digest = args[1]
+            if digest == "d1":
+                raise RuntimeError("boom")
+            return reply_ok(digest)
+
+        monkeypatch.setattr(backends_module, "attempt_job", scripted)
+        scheduler = self.make_scheduler(
+            SchedulerConfig(retry_backoff=0.0, poll_interval=0.01)
+        )
+        jobs = [
+            SweepJob(digest="d1", name="a", spec_json="{}"),
+            SweepJob(digest="d2", name="b", spec_json="{}"),
+        ]
+        outcomes = scheduler.run(jobs)
+        assert [outcome.job.digest for outcome in outcomes] == [
+            "d1", "d2",
+        ]
+        assert outcomes[0].failure is not None
+        assert outcomes[0].failure.error.startswith(
+            "worker died: RuntimeError: boom"
+        )
+        assert outcomes[1].ok
+
+    def test_speculation_lets_the_twin_win(self, monkeypatch):
+        # Three fast cells establish the median; the fourth stalls on
+        # its first execution and returns instantly on its second.
+        # With speculation on, the twin lands long before the stalled
+        # original would have.
+        lock = threading.Lock()
+        calls = {}
+
+        def scripted(args):
+            digest = args[1]
+            with lock:
+                calls[digest] = calls.get(digest, 0) + 1
+                nth = calls[digest]
+            if digest == "slow" and nth == 1:
+                time.sleep(1.5)
+            return reply_ok(digest)
+
+        monkeypatch.setattr(backends_module, "attempt_job", scripted)
+        scheduler = self.make_scheduler(
+            SchedulerConfig(
+                retry_backoff=0.0,
+                speculate=True,
+                poll_interval=0.01,
+            ),
+            workers=2,
+        )
+        jobs = [
+            SweepJob(digest=d, name=d, spec_json="{}")
+            for d in ("f1", "f2", "f3", "slow")
+        ]
+        started = time.monotonic()
+        outcomes = scheduler.run(jobs)
+        elapsed = time.monotonic() - started
+        assert all(outcome.ok for outcome in outcomes)
+        assert len(outcomes) == 4
+        assert calls["slow"] == 2  # original + speculative twin
+        assert elapsed < 1.4  # did not wait out the stalled original
+
+    def test_speculation_needs_enough_samples(self, monkeypatch):
+        # With only one finished cell the median is not trusted, so
+        # nothing is duplicated no matter how slow a cell looks.
+        lock = threading.Lock()
+        calls = {}
+
+        def scripted(args):
+            digest = args[1]
+            with lock:
+                calls[digest] = calls.get(digest, 0) + 1
+            if digest == "slow":
+                time.sleep(0.4)
+            return reply_ok(digest)
+
+        monkeypatch.setattr(backends_module, "attempt_job", scripted)
+        scheduler = self.make_scheduler(
+            SchedulerConfig(
+                retry_backoff=0.0,
+                speculate=True,
+                poll_interval=0.01,
+            ),
+            workers=2,
+        )
+        jobs = [
+            SweepJob(digest=d, name=d, spec_json="{}")
+            for d in ("f1", "slow")
+        ]
+        outcomes = scheduler.run(jobs)
+        assert all(outcome.ok for outcome in outcomes)
+        assert calls["slow"] == 1
+
+
+class QueueHarness:
+    """Shared helpers for the queue-backend tests."""
+
+    @staticmethod
+    def counting_attempt_job(monkeypatch):
+        """Patch attempt_job to count executions per digest."""
+        real = backends_module.attempt_job
+        lock = threading.Lock()
+        executed = []
+
+        def counting(args):
+            with lock:
+                executed.append(args[1])
+            return real(args)
+
+        monkeypatch.setattr(backends_module, "attempt_job", counting)
+        return executed
+
+
+class TestQueueBackend(QueueHarness):
+    def test_single_invocation_drains_the_matrix(
+        self, monkeypatch, tmp_path
+    ):
+        executed = self.counting_attempt_job(monkeypatch)
+        specs = cheap_specs((1, 2, 3))
+        cache = str(tmp_path / "cache")
+        report = run_sweep(
+            specs,
+            backend=QueueBackend(str(tmp_path / "queue")),
+            cache_dir=cache,
+        )
+        assert report.failures == []
+        assert len(report.results) == 3
+        assert sorted(executed) == sorted(
+            spec_hash(spec) for spec in specs
+        )
+        # A rerun over the same cache computes nothing.
+        executed.clear()
+        again = run_sweep(
+            specs,
+            backend=QueueBackend(str(tmp_path / "queue")),
+            cache_dir=cache,
+        )
+        assert again.cache_hits == 3
+        assert executed == []
+
+    def test_two_concurrent_invocations_compute_each_cell_once(
+        self, monkeypatch, tmp_path
+    ):
+        # The acceptance scenario: two invocations pointed at one work
+        # dir drain the matrix cooperatively.  Exactly-once is
+        # asserted on actual executions — adopted outcomes also flow
+        # through reports, which is the point of adoption.
+        executed = self.counting_attempt_job(monkeypatch)
+        specs = cheap_specs((1, 2, 3, 4))
+        work_dir = str(tmp_path / "queue")
+        cache = str(tmp_path / "cache")
+        reports = [None, None]
+
+        def invoke(slot):
+            reports[slot] = run_sweep(
+                specs,
+                backend=QueueBackend(work_dir),
+                cache_dir=cache,
+            )
+
+        threads = [
+            threading.Thread(target=invoke, args=(slot,))
+            for slot in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(report is not None for report in reports)
+        assert all(report.failures == [] for report in reports)
+        # Every cell executed exactly once across both invocations.
+        assert sorted(executed) == sorted(
+            spec_hash(spec) for spec in specs
+        )
+        # And the shared cache converged: a follow-up run is all hits.
+        executed.clear()
+        converged = run_sweep(
+            specs, backend="serial", cache_dir=cache
+        )
+        assert converged.cache_hits == 4
+        assert executed == []
+
+    def test_failed_cell_requeues_on_resume(
+        self, monkeypatch, tmp_path
+    ):
+        # A failure's done record is generation-stamped; a later
+        # invocation may enqueue generation+1 and retry it, while the
+        # succeeded cells stay adopted, never recomputed.
+        specs = cheap_specs((1, 2))
+        target = f"{CHEAP}@seed1"
+        work_dir = str(tmp_path / "queue")
+        cache = str(tmp_path / "cache")
+        real = backends_module.attempt_job
+
+        def failing(args):
+            name, digest = args[0], args[1]
+            if name == target:
+                return (
+                    digest, None, "RuntimeError: injected", "tb",
+                    1, 1.0, 2.0,
+                )
+            return real(args)
+
+        monkeypatch.setattr(backends_module, "attempt_job", failing)
+        first = run_sweep(
+            specs, backend=QueueBackend(work_dir), cache_dir=cache
+        )
+        assert [failure.name for failure in first.failures] == [target]
+        monkeypatch.setattr(backends_module, "attempt_job", real)
+        second = resume_sweep(
+            cache, backend=QueueBackend(work_dir)
+        )
+        assert second.failures == []
+        assert len(second.results) == 2
+        assert second.cache_hits == 1  # seed2 was cached, not re-run
+        attempts = SweepManifest.load(cache).cells[
+            spec_hash(specs[0])
+        ]["attempts"]
+        assert attempts == 2  # failed attempt + clean resume attempt
+
+    def test_stale_claim_is_requeued(self, monkeypatch, tmp_path):
+        # A claimant machine died mid-cell: its claim file sits there
+        # untouched.  With stale_claim_seconds armed, a later
+        # invocation renames it back into todo/ and computes it.
+        import os
+
+        executed = self.counting_attempt_job(monkeypatch)
+        spec = cheap_specs((1,))[0]
+        digest = spec_hash(spec)
+        work_dir = str(tmp_path / "queue")
+        dead_peer = QueueBackend(work_dir)
+        job = SweepJob(
+            digest=digest,
+            name=spec.name,
+            spec_json='{"name": "x"}',
+        )
+        dead_peer._ensure_dirs()
+        dead_peer._enqueue(job)
+        assert dead_peer._claim(digest) == 0
+        claimed_path = dead_peer._path("claimed", digest)
+        old = os.stat(claimed_path).st_mtime - 3600
+        os.utime(claimed_path, (old, old))
+
+        # Without the knob the claim is respected: the cell is left to
+        # its (dead) claimant and reported as skipped.
+        cautious = QueueBackend(work_dir)
+        report = run_sweep(
+            [spec],
+            backend=cautious,
+            cache_dir=str(tmp_path / "cache_a"),
+        )
+        assert report.results == [] and report.failures == []
+        assert report.skipped == 1
+        assert executed == []
+
+        # With it, the hour-old claim is requeued and computed here.
+        recovering = QueueBackend(work_dir, stale_claim_seconds=60.0)
+        report = run_sweep(
+            [spec],
+            backend=recovering,
+            cache_dir=str(tmp_path / "cache_b"),
+        )
+        assert report.failures == []
+        assert len(report.results) == 1
+        assert executed == [digest]
+
+    def test_requires_work_dir(self):
+        with pytest.raises(ValueError, match="work_dir"):
+            QueueBackend("")
+        with pytest.raises(ValueError, match="stale_claim_seconds"):
+            QueueBackend("/tmp/q", stale_claim_seconds=0.0)
