@@ -1,0 +1,123 @@
+#!/bin/sh
+# Seeded chaos harness: crash a sweep on purpose, demand convergence.
+#
+# Each run arms a seeded fault plan (kills, stalls, torn writes) over
+# two concurrent queue-backend sweep invocations, lets the recovery
+# machinery work (stale-claim requeue, `repro doctor --repair`, a
+# fault-free convergence pass), and then asserts the endgame:
+#
+#   * `repro doctor` finds a clean tree (no debris survived repair);
+#   * the final `sweep --json` is byte-identical to a fault-free
+#     reference run (zero lost cells, zero divergent results);
+#   * no cell's run journal shows two *overlapping* computes (zero
+#     concurrent double-computes).  A serialized recompute is allowed
+#     — that is recovery working: a torn write can destroy a finished
+#     cell's artifacts, and the only fix is computing it again.
+#
+# Usage: scripts/chaos.sh [RUNS]   (default 20; CI smoke uses 3)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+RUNS="${1:-20}"
+SCENARIO="topology-tiny"
+SEEDS="1,2,3,4"
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "== chaos: fault-free reference =="
+python -m repro scenario sweep "$SCENARIO" --seeds "$SEEDS" \
+    --backend serial --cache-dir "$SCRATCH/reference" --json \
+    > "$SCRATCH/reference.json"
+
+RUN=1
+while [ "$RUN" -le "$RUNS" ]; do
+    echo "== chaos: run $RUN/$RUNS (seed $RUN) =="
+    CACHE="$SCRATCH/run-$RUN"
+    PLAN="$SCRATCH/plan-$RUN.json"
+    python - "$PLAN" "$RUN" <<'PLAN_EOF'
+import json, sys
+path, seed = sys.argv[1], int(sys.argv[2])
+# A seeded mix of every injectable misfortune.  Counts are small so a
+# run cannot wedge: the fire markers in the shared state dir spend the
+# kill budget across *both* invocations, and the convergence pass runs
+# with no plan armed at all.
+rules = [
+    {"site": "sweep.cell", "action": "kill",
+     "probability": 0.3, "count": 2},
+    {"site": "queue.claim", "action": "kill",
+     "probability": 0.2, "count": 1},
+    {"site": "durable.write", "action": "torn",
+     "probability": 0.2, "keep": 0.5, "count": 2},
+    {"site": "sweep.cell", "action": "stall",
+     "probability": 0.3, "seconds": 0.2},
+]
+with open(path, "w") as handle:
+    json.dump({"seed": seed, "rules": rules}, handle)
+PLAN_EOF
+
+    # Two concurrent invocations drain the shared queue under fire;
+    # crashes (exit 86) and failed cells (exit 1) are the point.
+    REPRO_FAULT_PLAN="$PLAN" python -m repro scenario sweep "$SCENARIO" \
+        --seeds "$SEEDS" --backend queue --stale-claim 2 \
+        --cache-dir "$CACHE" >/dev/null 2>&1 &
+    PID_A=$!
+    REPRO_FAULT_PLAN="$PLAN" python -m repro scenario sweep "$SCENARIO" \
+        --seeds "$SEEDS" --backend queue --stale-claim 2 \
+        --cache-dir "$CACHE" >/dev/null 2>&1 &
+    PID_B=$!
+    wait "$PID_A" || true
+    wait "$PID_B" || true
+
+    # Let any zombie claim's lease go silent past the 2s threshold,
+    # then repair the debris and converge fault-free.
+    sleep 2.5
+    python -m repro doctor "$CACHE" --repair --lease 2 >/dev/null
+    python -m repro scenario sweep "$SCENARIO" --seeds "$SEEDS" \
+        --backend queue --stale-claim 2 --cache-dir "$CACHE" >/dev/null
+    python -m repro doctor "$CACHE" --lease 2 >/dev/null
+
+    # Byte-identical to the fault-free reference, and no concurrent
+    # double-compute in any cell journal.
+    python -m repro scenario sweep "$SCENARIO" --seeds "$SEEDS" \
+        --backend serial --cache-dir "$CACHE" --json \
+        > "$CACHE/final.json"
+    cmp "$SCRATCH/reference.json" "$CACHE/final.json"
+    python - "$CACHE" <<'CHECK_EOF'
+import os, sys
+from repro.obs.journal import journal_dir, read_journal
+cache = sys.argv[1]
+journals = sorted(os.listdir(journal_dir(cache)))
+assert journals, "no cell journals written"
+for name in journals:
+    events = read_journal(os.path.join(journal_dir(cache), name))
+    # Pair every finish with the latest preceding unmatched start,
+    # then demand the compute intervals never overlap: a killed
+    # attempt leaves a bare start (fine), a torn-away result forces a
+    # *later* recompute (fine), but two invocations computing the
+    # same cell at once is the exactly-once bug this harness exists
+    # to catch.
+    spans, open_starts = [], []
+    for event in sorted(events, key=lambda e: e.get("ts", 0.0)):
+        if event.get("event") == "start":
+            open_starts.append(event["ts"])
+        elif event.get("event") in ("finish", "fail"):
+            assert open_starts, f"{name}: finish without start"
+            spans.append((open_starts.pop(), event["ts"]))
+    finishes = [e for e in events if e.get("event") == "finish"]
+    assert finishes, f"{name}: no finish event: {events!r}"
+    spans.sort()
+    for (_, earlier_end), (later_start, _) in zip(spans, spans[1:]):
+        assert later_start >= earlier_end, (
+            f"{name}: overlapping computes (concurrent"
+            f" double-compute): {spans!r}"
+        )
+CHECK_EOF
+    rm -rf "$CACHE"
+    RUN=$((RUN + 1))
+done
+
+echo "chaos OK ($RUNS runs)"

@@ -10,8 +10,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== static analysis =="
 # The contract linter gates the tree before any test runs: determinism
 # (DET001/DET002), hot-path instrumentation gating (OBS001), CLI stdout
-# discipline (IO001), cache schema versioning (CACHE001) and bounded
-# memos (MEMO001).  Exit 1 here means a contract violation — fix it or
+# discipline (IO001), cache schema versioning (CACHE001), bounded
+# memos (MEMO001) and atomic durable writes (DUR001).  Exit 1 here
+# means a contract violation — fix it or
 # add a reasoned `# repro: allow(CODE) reason` waiver, don't baseline.
 python -m repro check src
 # The shipped baseline must stay empty: all grandfathering happens as
@@ -60,7 +61,6 @@ echo "== smoke: sharded sweep, killed cell, resume round trip =="
 SHARD_CACHE="$CACHE_DIR/sharded"
 python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
     --shard 0/2 --backend serial --cache-dir "$SHARD_CACHE"
-rm -f "$SHARD_CACHE"/*.v*.json.tmp.*
 FIRST_CELL="$(ls "$SHARD_CACHE"/*.json | grep -v sweep.json | head -n 1)"
 rm -f "$FIRST_CELL"
 python -m repro scenario sweep --resume --cache-dir "$SHARD_CACHE" \
@@ -86,13 +86,18 @@ assert status["counts"]["done"] == status["counts"]["total"] == 4, status
 
 echo
 echo "== smoke: killed worker must not cascade =="
-# A worker os._exits mid-cell (REPRO_FAULT_KILL, the test-only fault
-# hook; to the pool it looks like a segfault or OOM kill).  The fix
-# under test: the sweep completes every sibling and reports exactly
-# the killed cell as failed (exit 1) — one dead worker used to fail
-# the whole batch.  A fault-free --resume then finishes the matrix.
+# A worker os._exits mid-cell (a kill rule in a REPRO_FAULT_PLAN; to
+# the pool it looks like a segfault or OOM kill).  The fix under
+# test: the sweep completes every sibling and reports exactly the
+# killed cell as failed (exit 1) — one dead worker used to fail the
+# whole batch.  A fault-free --resume then finishes the matrix.
 KILL_CACHE="$CACHE_DIR/killed"
-! REPRO_FAULT_KILL="topology-tiny@seed2" \
+cat > "$CACHE_DIR/kill-plan.json" <<'EOF'
+{"seed": 1,
+ "rules": [{"site": "sweep.cell", "match": "topology-tiny@seed2",
+            "action": "kill"}]}
+EOF
+! REPRO_FAULT_PLAN="$CACHE_DIR/kill-plan.json" \
     python -m repro scenario sweep topology-tiny --seeds 1,2,3 \
     --workers 2 --backend processes --cache-dir "$KILL_CACHE"
 python -m repro scenario sweep --status --cache-dir "$KILL_CACHE" \
@@ -131,6 +136,14 @@ python -m repro scenario sweep topology-tiny --seeds 1,2,3,4 \
     --backend serial --cache-dir "$QUEUE_CACHE" \
     | tee "$CACHE_DIR/queue-converged.txt"
 grep -q "4 hit(s), 0 miss(es)" "$CACHE_DIR/queue-converged.txt"
+
+echo
+echo "== smoke: seeded chaos (kills, stalls, torn writes) =="
+# Three seeded rounds of scripts/chaos.sh: concurrent queue sweeps
+# under an armed fault plan must converge — doctor-clean tree,
+# byte-identical results, exactly one finish per cell journal.  The
+# full 20-seed battery is the standalone `scripts/chaos.sh`.
+scripts/chaos.sh 3
 
 echo
 echo "== cross-backend determinism suite =="

@@ -255,6 +255,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     scenario_sweep.add_argument(
+        "--stale-claim",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --backend queue: requeue a claim whose lease"
+            " heartbeat has been silent this long (default 300;"
+            " 0 or negative disables requeue entirely)"
+        ),
+    )
+    scenario_sweep.add_argument(
         "--max-retries",
         type=int,
         default=0,
@@ -341,6 +352,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one line to stderr as each cell completes",
     )
 
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="scan a cache/queue dir for crash debris (and repair it)",
+    )
+    doctor.add_argument(
+        "dir",
+        help="cache dir, queue work dir, or a tree holding both",
+    )
+    doctor.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "fix what was found: remove orphan temporaries and"
+            " dangling seen markers, requeue zombie claims,"
+            " quarantine corrupt files (and rebuild the manifest"
+            " from intact cache entries)"
+        ),
+    )
+    doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the findings as JSON instead of a table",
+    )
+    doctor.add_argument(
+        "--grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "age past which a live-pid .tmp file counts as an orphan"
+            " (default 300; dead-pid temporaries are always orphans)"
+        ),
+    )
+    doctor.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "heartbeat silence past which a queue claim is a zombie"
+            " (default 300, matching the sweep's --stale-claim)"
+        ),
+    )
+
     from repro.devtools.cli import add_check_parser
 
     add_check_parser(subparsers)
@@ -357,6 +412,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
             return _run_classify(arguments)
         if arguments.command == "scenario":
             return _run_scenario_command(arguments)
+        if arguments.command == "doctor":
+            return _run_doctor(arguments)
         if arguments.command == "check":
             from repro.devtools.cli import run_check_command
 
@@ -657,6 +714,53 @@ def _print_metrics_report(report: dict) -> None:
         )
 
 
+def _run_doctor(arguments) -> int:
+    # Imported directly (not via the faults package __init__) so the
+    # fault-injection fast path stays free of doctor/runner imports.
+    from repro.faults import doctor as doctor_module
+
+    kwargs = {}
+    if arguments.grace is not None:
+        kwargs["grace_seconds"] = arguments.grace
+    if arguments.lease is not None:
+        kwargs["lease_seconds"] = arguments.lease
+    try:
+        report = doctor_module.run_doctor(
+            arguments.dir, repair=arguments.repair, **kwargs
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if arguments.json:
+        _emit_json(report.to_dict())
+    elif report.clean:
+        _emit(f"doctor: {report.root}: clean")
+    else:
+        verb = "repaired" if arguments.repair else "found"
+        _emit(
+            f"doctor: {report.root}: {verb}"
+            f" {len(report.findings)} finding(s)"
+        )
+        for finding in report.findings:
+            status = (
+                "repaired"
+                if finding.repaired
+                else ("unrepaired" if arguments.repair else "found")
+            )
+            _emit(
+                f"  [{finding.kind}] {finding.path}"
+                f"\n    {finding.detail}"
+                f"\n    repair: {finding.repair} ({status})"
+            )
+    if report.clean:
+        return 0
+    if arguments.repair and all(
+        finding.repaired for finding in report.findings
+    ):
+        return 0
+    return 1
+
+
 def _scenario_sweep(arguments) -> int:
     import json
 
@@ -710,8 +814,20 @@ def _scenario_sweep(arguments) -> int:
                 )
                 return 2
             queue_dir = os.path.join(arguments.cache_dir, "queue")
+        backend_kwargs = {}
+        if arguments.stale_claim is not None:
+            # 0 or negative = explicitly disable stale-claim requeue;
+            # unspecified keeps the backend's armed default.
+            backend_kwargs["stale_claim_seconds"] = (
+                arguments.stale_claim
+                if arguments.stale_claim > 0
+                else None
+            )
         backend = make_backend(
-            arguments.backend, shard=shard, queue_dir=queue_dir
+            arguments.backend,
+            shard=shard,
+            queue_dir=queue_dir,
+            **backend_kwargs,
         )
         if arguments.resume:
             if arguments.name is not None:

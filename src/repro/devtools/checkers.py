@@ -733,6 +733,90 @@ def _module_dict_name(node) -> "Optional[str]":
 
 
 # ----------------------------------------------------------------------
+# DUR001 — durable state written around atomic_write()
+# ----------------------------------------------------------------------
+class Dur001DurableWrite(Checker):
+    code = "DUR001"
+    title = "ad-hoc durable write in a durable-state module"
+    explain = """\
+Durable-state modules (scenarios/runner.py, scenarios/backends.py,
+faults/doctor.py) persist caches, manifests and queue records that
+other invocations — possibly on other machines — read back and trust.
+Every such write must go through repro.durable.atomic_write: it
+checksum-frames the payload, fsyncs before os.replace, and names its
+temporaries so orphan sweeps and `repro doctor` can reason about them.
+An ad-hoc open(..., 'w') or os.replace reimplements the tmp-rename
+dance without the fsync, the framing or the recognizable tmp name.
+
+History: before PR 10, runner.py and backends.py carried three
+separate unfsynced tmp-rename copies; killed writers left .tmp.<pid>
+orphans forever and torn writes were half-parsed as cache entries.
+
+Fix: route the write through durable.atomic_write (or read side
+through durable.read_durable).  os.rename is deliberately not flagged
+— queue claim/requeue transitions of already-durable files are its
+legitimate use.  A genuinely non-durable write (a scratch file, a
+probe) takes a '# repro: allow(DUR001) ...' waiver."""
+
+    #: open() modes that create or mutate: any of w/x/a/+.
+    _WRITE_MODE_RE = re.compile(r"[wxa+]")
+
+    def check(self, module: SourceModule) -> "Iterator[Finding]":
+        if module.tree is None or not module.is_durable_state:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._open_mode(node)
+                if mode is not None and self._WRITE_MODE_RE.search(
+                    mode
+                ):
+                    yield module.finding(
+                        self.code,
+                        node,
+                        f"open(..., {mode!r}) writes durable state"
+                        " directly; route it through"
+                        " durable.atomic_write",
+                    )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "replace"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                yield module.finding(
+                    self.code,
+                    node,
+                    "os.replace(...) is atomic_write's job here;"
+                    " ad-hoc tmp-rename skips the fsync and the"
+                    " checksum frame",
+                )
+
+    @staticmethod
+    def _open_mode(call: ast.Call) -> "Optional[str]":
+        """The constant mode string of an open() call, if present."""
+        mode_node = None
+        if len(call.args) >= 2:
+            mode_node = call.args[1]
+        else:
+            for keyword in call.keywords:
+                if keyword.arg == "mode":
+                    mode_node = keyword.value
+                    break
+        if mode_node is None:
+            return None  # default "r": a read
+        if isinstance(mode_node, ast.Constant) and isinstance(
+            mode_node.value, str
+        ):
+            return mode_node.value
+        # A computed mode cannot be judged syntactically; stay quiet
+        # rather than false-positive (the reviewed-waiver philosophy).
+        return None
+
+
+# ----------------------------------------------------------------------
 # SYN001 / SUP001 — infrastructure codes
 # ----------------------------------------------------------------------
 class Syn001SyntaxError(Checker):
@@ -777,6 +861,7 @@ ALL_CHECKERS: "Tuple[Checker, ...]" = (
     Io001StdoutDiscipline(),
     Cache001SchemaFingerprint(),
     Memo001UnboundedCache(),
+    Dur001DurableWrite(),
     Syn001SyntaxError(),
     Sup001MalformedSuppression(),
 )

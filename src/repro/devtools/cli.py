@@ -45,9 +45,9 @@ def add_check_parser(subparsers) -> None:
         description=(
             "AST-based contract linter: determinism (DET001/DET002),"
             " hot-path instrumentation gating (OBS001), CLI stdout"
-            " discipline (IO001), cache schema versioning (CACHE001)"
-            " and bounded memos (MEMO001).  Exit 0 clean, 1 findings,"
-            " 2 usage error."
+            " discipline (IO001), cache schema versioning (CACHE001),"
+            " bounded memos (MEMO001) and atomic durable writes"
+            " (DUR001).  Exit 0 clean, 1 findings, 2 usage error."
         ),
     )
     check.add_argument(

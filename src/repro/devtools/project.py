@@ -34,6 +34,16 @@ HOT_PATH_FILES = ("bgp/wire.py",)
 #: The CLI module (IO001): stdout belongs to the designated emitters.
 CLI_FILES = ("cli.py",)
 
+#: Modules that persist durable on-disk state (DUR001): every cache,
+#: manifest or queue record write must go through
+#: ``repro.durable.atomic_write`` — no ad-hoc ``open(..., "w")`` /
+#: ``os.replace`` tmp-rename reimplementations.
+DURABLE_STATE_FILES = (
+    "scenarios/runner.py",
+    "scenarios/backends.py",
+    "faults/doctor.py",
+)
+
 
 @dataclass
 class SourceModule:
@@ -93,6 +103,10 @@ class SourceModule:
     @property
     def is_cli(self) -> bool:
         return self.rel in CLI_FILES
+
+    @property
+    def is_durable_state(self) -> bool:
+        return self.rel in DURABLE_STATE_FILES
 
 
 @dataclass

@@ -1,0 +1,301 @@
+"""Crash-consistent durable writes, shared by every on-disk record.
+
+Four modules used to carry their own copy of the tmp-then-rename
+idiom (the sweep cache store, the manifest save, the queue backend's
+todo and done writers) — none of them fsynced, none of them detected a
+torn write on the read side, and a writer killed between the tmp
+write and the rename left ``.tmp.<pid>`` orphans behind forever.
+This module is the one implementation they all share now:
+
+* :func:`atomic_write` — frame the payload with a header and a
+  trailing crc32 checksum, write it to a uniquely-named temporary in
+  the same directory, ``flush`` + ``fsync``, then ``os.replace``.  A
+  reader can never observe a half-written file under the final name;
+  a torn *temporary* (the writer died mid-write) is left as an orphan
+  for :func:`sweep_orphan_tmps` / ``repro doctor`` to clean up.
+* :func:`read_durable` — the matching reader: verifies the checksum
+  frame and raises :class:`TornWriteError` on any mismatch, so
+  corruption is a loud signal instead of a half-parsed record.
+  Legacy files written before the framing existed (no header) are
+  returned as-is — old caches keep resuming.
+* :func:`sweep_orphan_tmps` — remove temporaries whose writing pid is
+  dead (or that are simply old); runs at sweep/queue startup and from
+  ``repro doctor``.
+* :func:`fs_now` / :class:`ClaimLease` — the clock-skew-immune lease
+  primitives for the queue backend's stale-claim requeue: liveness is
+  a *filesystem* mtime renewed by heartbeat, compared against the
+  same filesystem's idea of "now" (the mtime of a freshly-touched
+  probe file), so two hosts with skewed wall clocks still agree on
+  which claims are stale.
+
+Fault injection: :func:`atomic_write` threads
+:func:`repro.faults.faultpoint` and :func:`repro.faults.mangle`
+through the write path, so a chaos plan can kill a writer before the
+rename (orphaned tmp), after it (clean), or tear the payload bytes —
+the exact crash windows ``repro doctor`` repairs.
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import os
+import time
+import zlib
+from threading import Event, Thread
+from typing import List, Optional, Tuple
+
+from repro import faults
+
+#: First line of a checksum-framed durable file.  Its presence is the
+#: commitment: a framed file whose trailer is missing or wrong is
+#: corrupt, full stop — whereas a file without it predates the framing
+#: and is accepted unverified (old caches keep working).
+FRAME_HEADER = "#repro:durable v1\n"
+
+#: Trailer carrying the payload checksum and byte length.
+_FRAME_TRAILER = "#repro:crc32={crc:08x};len={length}\n"
+
+#: Substring marking a temporary from the atomic-write protocol.
+TMP_MARKER = ".tmp."
+
+#: Default age past which an orphan temporary is removed even when its
+#: writer pid looks alive (pids recycle; a tmp this old is garbage).
+DEFAULT_TMP_MAX_AGE_SECONDS = 300.0
+
+#: Per-process counter making temporary names unique across threads.
+_TMP_COUNTER = itertools.count()
+
+
+class TornWriteError(ValueError):
+    """A checksum-framed durable file failed verification."""
+
+
+# ----------------------------------------------------------------------
+# checksum framing
+# ----------------------------------------------------------------------
+def frame(payload: str) -> str:
+    """Wrap *payload* in the durable header + crc32 trailer."""
+    data = payload.encode("utf-8")
+    trailer = _FRAME_TRAILER.format(
+        crc=zlib.crc32(data) & 0xFFFFFFFF, length=len(data)
+    )
+    return f"{FRAME_HEADER}{payload}\n{trailer}"
+
+
+def unframe(text: str) -> "Tuple[str, bool]":
+    """Verify and strip the frame; returns ``(payload, was_framed)``.
+
+    A file without the header is legacy — returned untouched and
+    unverified.  A file *with* the header must carry a matching
+    trailer; anything else (truncation, torn bytes, checksum drift)
+    raises :class:`TornWriteError`.
+    """
+    if not text.startswith(FRAME_HEADER):
+        return text, False
+    body = text[len(FRAME_HEADER):]
+    head, newline, trailer = body.rpartition("\n#repro:crc32=")
+    if not newline:
+        raise TornWriteError("framed file is missing its trailer")
+    crc_text, _, rest = trailer.partition(";len=")
+    length_text = rest.rstrip("\n")
+    try:
+        recorded_crc = int(crc_text, 16)
+        recorded_length = int(length_text)
+    except ValueError:
+        raise TornWriteError(
+            "framed file has a malformed trailer"
+        ) from None
+    data = head.encode("utf-8")
+    if len(data) != recorded_length:
+        raise TornWriteError(
+            f"payload length {len(data)} != recorded {recorded_length}"
+            " (torn write)"
+        )
+    actual_crc = zlib.crc32(data) & 0xFFFFFFFF
+    if actual_crc != recorded_crc:
+        raise TornWriteError(
+            f"payload crc32 {actual_crc:08x} != recorded"
+            f" {recorded_crc:08x} (torn write)"
+        )
+    return head, True
+
+
+# ----------------------------------------------------------------------
+# atomic write / verified read
+# ----------------------------------------------------------------------
+def tmp_path_for(path: str) -> str:
+    """A unique same-directory temporary name for *path*.
+
+    The pid is embedded so orphan sweeps can test writer liveness; the
+    counter keeps concurrent threads of one process from colliding.
+    """
+    return f"{path}{TMP_MARKER}{os.getpid()}.{next(_TMP_COUNTER)}"
+
+
+def atomic_write(
+    path: str, payload: str, *, checksum: bool = True, fsync: bool = True
+) -> None:
+    """Durably publish *payload* at *path* — all or nothing.
+
+    The payload is checksum-framed (unless ``checksum=False``),
+    written to a same-directory temporary, flushed and fsynced, then
+    renamed over *path* with ``os.replace``.  Readers see either the
+    old file or the complete new one; a writer killed at any point
+    leaves at worst an orphan temporary, never a torn *path*.
+    """
+    text = frame(payload) if checksum else payload
+    data = text.encode("utf-8")
+    faults.faultpoint("durable.write", name=path)
+    data = faults.mangle("durable.write", path, data)
+    temporary = tmp_path_for(path)
+    with open(temporary, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    # The window a kill turns into an orphaned temporary.
+    faults.faultpoint("durable.write.tmp", name=path)
+    os.replace(temporary, path)
+
+
+def read_durable(path: str) -> str:
+    """Read and verify a durable file; returns the payload text.
+
+    Raises ``OSError`` (including ``FileNotFoundError``) when the file
+    cannot be read and :class:`TornWriteError` when the checksum frame
+    does not verify.  Legacy unframed files pass through unverified.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    payload, _ = unframe(text)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# orphan temporaries
+# ----------------------------------------------------------------------
+def is_tmp_name(name: str) -> bool:
+    """True when *name* looks like an atomic-write temporary."""
+    return TMP_MARKER in name
+
+
+def tmp_owner_pid(name: str) -> "Optional[int]":
+    """The writer pid embedded in a temporary's name, if parseable."""
+    _, _, suffix = name.rpartition(TMP_MARKER)
+    pid_text = suffix.split(".", 1)[0]
+    try:
+        return int(pid_text)
+    except ValueError:
+        return None
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0); permission errors count
+    as alive — better to keep a live writer's tmp than to race it."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except OSError as exc:
+        return exc.errno != errno.ESRCH
+    return True
+
+
+def sweep_orphan_tmps(
+    directory: str,
+    *,
+    max_age_seconds: float = DEFAULT_TMP_MAX_AGE_SECONDS,
+    remove: bool = True,
+) -> "List[str]":
+    """Find (and by default remove) orphaned write temporaries.
+
+    A temporary is an orphan when its embedded writer pid is dead, or
+    when it is older than *max_age_seconds* (pids recycle, and no
+    healthy atomic write holds a tmp for minutes).  Recent tmps of
+    live pids are left alone — they may be mid-write right now.
+    Returns the paths judged orphaned.
+    """
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return []
+    now = time.time()
+    orphans: "List[str]" = []
+    for name in entries:
+        if not is_tmp_name(name):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            age = now - os.stat(path).st_mtime
+        except OSError:
+            continue  # already gone
+        pid = tmp_owner_pid(name)
+        stale = age > max_age_seconds
+        dead = pid is not None and not pid_alive(pid)
+        if not (dead or stale):
+            continue
+        orphans.append(path)
+        if remove:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+    return sorted(orphans)
+
+
+# ----------------------------------------------------------------------
+# clock-skew-immune leases
+# ----------------------------------------------------------------------
+def fs_now(directory: str, *, probe_name: str = ".fsprobe") -> float:
+    """The *filesystem's* idea of now: a freshly-touched probe mtime.
+
+    Claim staleness compares this against claim-file mtimes on the
+    same filesystem, so hosts with skewed wall clocks still agree —
+    the one clock that matters is the fileserver's.  Falls back to
+    ``time.time()`` if the directory is unwritable.
+    """
+    probe = os.path.join(directory, probe_name)
+    try:
+        with open(probe, "w"):
+            pass
+        return os.stat(probe).st_mtime
+    except OSError:
+        return time.time()
+
+
+class ClaimLease:
+    """Heartbeat thread renewing a claim file's mtime while held.
+
+    The queue backend starts one per inline cell execution; the mtime
+    renewal is what distinguishes a *slow* claimant from a *dead* one,
+    which is what lets stale-claim requeue ship armed by default — a
+    live claimant can never look stale, no matter how long its cell
+    runs or how far its wall clock drifts.
+    """
+
+    def __init__(self, path: str, *, interval: float):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval!r}")
+        self.path = path
+        self.interval = interval
+        self._stop = Event()
+        self._thread = Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                os.utime(self.path, None)
+            except OSError:
+                return  # claim released (or requeued) under us
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ClaimLease":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -18,7 +18,10 @@ from __future__ import annotations
 import json
 import os
 import time
+import zlib
 from typing import Iterator, List, Optional
+
+from repro import faults
 
 
 #: Subdirectory of a sweep cache dir holding per-cell journals.
@@ -64,11 +67,24 @@ class RunJournal:
         self._file = open(self.path, "a", encoding="utf-8")
 
     def write(self, event: str, **fields) -> None:
-        """Append one event line (adds ``ts`` automatically)."""
+        """Append one event line (adds ``ts`` and a ``crc`` field).
+
+        The ``crc`` is a crc32 of the record without it, so a torn or
+        bit-flipped line fails verification in :func:`iter_journal`
+        instead of being half-trusted.  Lines written before the field
+        existed verify as legacy (no ``crc``) and are accepted.
+        """
         record = {"event": event, "ts": time.time()}
         record.update(fields)
-        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        body = json.dumps(record, sort_keys=True)
+        record["crc"] = f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
+        line = json.dumps(record, sort_keys=True) + "\n"
+        # json.dumps escapes to ASCII by default, so a torn cut can
+        # never land mid-multibyte-sequence.
+        data = faults.mangle("journal.append", self.path, line.encode("utf-8"))
+        self._file.write(data.decode("utf-8"))
         self._file.flush()
+        faults.faultpoint("journal.append", name=self.path)
 
     def heartbeat(
         self,
@@ -144,8 +160,17 @@ def iter_journal(
                 event = json.loads(line)
             except ValueError:
                 continue
-            if isinstance(event, dict):
-                yield event
+            if not isinstance(event, dict):
+                continue
+            recorded_crc = event.pop("crc", None)
+            if recorded_crc is not None:
+                # A parseable line can still be a corrupted one (torn
+                # then appended over); only a matching crc earns trust.
+                body = json.dumps(event, sort_keys=True)
+                actual = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+                if f"{actual:08x}" != recorded_crc:
+                    continue
+            yield event
 
 
 def read_journal(

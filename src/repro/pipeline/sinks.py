@@ -30,6 +30,8 @@ import tempfile
 from collections import deque
 from typing import Callable, Iterable, Iterator, List, Optional, Protocol, Sequence
 
+from repro import faults
+
 
 class PipelineStop(Exception):
     """Raised by a sink to abort the pump loop (early stop)."""
@@ -294,6 +296,7 @@ class MrtSpillArchive(ArchiveSink):
         )
         self.path = path
         self._stream = os.fdopen(handle, "wb")
+        faults.faultpoint("pipeline.spill.open", name=path)
         self._writer = MRTWriter(self._stream, extended_timestamps=True)
         self._total = 0
         self._closed = False
@@ -356,6 +359,7 @@ class MrtSpillArchive(ArchiveSink):
 
     def close(self) -> None:
         if not self._closed:
+            faults.faultpoint("pipeline.spill.close", name=self.path)
             self._stream.flush()
             self._stream.close()
             self._closed = True

@@ -51,6 +51,7 @@ or from the command line::
 from repro.scenarios.backends import (
     BACKEND_NAMES,
     ExecutionBackend,
+    DEFAULT_STALE_CLAIM_SECONDS,
     JobFailure,
     JobOutcome,
     ProcessBackend,
@@ -120,6 +121,7 @@ __all__ = [
     "BACKEND_NAMES",
     "ExecutionBackend",
     "JobFailure",
+    "DEFAULT_STALE_CLAIM_SECONDS",
     "JobOutcome",
     "PoolScheduler",
     "ProcessBackend",

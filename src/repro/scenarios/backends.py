@@ -72,6 +72,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import durable, faults
 from repro.obs import metrics as obs_metrics
 from repro.scenarios.engine import run_scenario_json
 
@@ -81,6 +82,14 @@ BACKEND_NAMES = ("serial", "threads", "processes", "sharded", "queue")
 
 #: Ceiling on any single retry-backoff sleep, seconds.
 BACKOFF_CAP = 30.0
+
+#: Default claim-staleness threshold, seconds.  Armed by default: the
+#: mtime lease (:class:`repro.durable.ClaimLease`) renews a live
+#: claimant's claim every ``stale/8`` seconds and staleness is judged
+#: against the *filesystem's* clock (:func:`repro.durable.fs_now`),
+#: so neither a long cell nor host clock skew can make a live claim
+#: look stale — only an actually-dead claimant can.
+DEFAULT_STALE_CLAIM_SECONDS = 300.0
 
 
 def backoff_delay(
@@ -97,50 +106,6 @@ def backoff_delay(
     if base <= 0 or attempt < 1:
         return 0.0
     return min(cap, base * (2.0 ** (attempt - 1)))
-
-
-def _inject_fault(name: str) -> None:
-    """Test/CI fault hook, armed purely through the environment.
-
-    ``REPRO_FAULT_KILL=<cell name>`` makes the worker die abruptly
-    (``os._exit``, no Python teardown — indistinguishable from a
-    segfault or OOM kill to the pool) when it picks up that cell;
-    ``REPRO_FAULT_STALL=<cell name>:<seconds>`` makes it hang.  With
-    ``REPRO_FAULT_ONCE_DIR=<dir>`` each fault fires exactly once
-    across every worker sharing the directory (claimed by exclusive
-    file creation), which is how tests model a *transient* crash that
-    a retry survives.  Unset (the normal case) this is a no-op before
-    the first attempt of each cell.
-    """
-    kill = os.environ.get("REPRO_FAULT_KILL")
-    stall = os.environ.get("REPRO_FAULT_STALL")
-    if kill is None and stall is None:
-        return
-    if kill == name and _claim_fault("kill", name):
-        os._exit(86)
-    if stall:
-        stall_name, _, seconds = stall.partition(":")
-        if stall_name == name and _claim_fault("stall", name):
-            time.sleep(float(seconds or "30"))
-
-
-def _claim_fault(kind: str, name: str) -> bool:
-    """True when this worker should fire the fault.
-
-    Without ``REPRO_FAULT_ONCE_DIR`` the fault is unconditional (a
-    deterministic crasher); with it, the first claimant wins and every
-    later attempt runs clean.
-    """
-    once_dir = os.environ.get("REPRO_FAULT_ONCE_DIR")
-    if not once_dir:
-        return True
-    marker = os.path.join(once_dir, f"fault.{kind}.{name}")
-    try:
-        handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-    except FileExistsError:
-        return False
-    os.close(handle)
-    return True
 
 
 @dataclass(frozen=True)
@@ -246,7 +211,11 @@ def attempt_job(
     while True:
         attempts += 1
         try:
-            _inject_fault(name)
+            # The chaos harness's main worker-side injection point:
+            # kill here looks like a segfault/OOM to the pool, stall
+            # like a hung worker, error like a flaky cell the retry
+            # budget should absorb.
+            faults.faultpoint("sweep.cell", name=name)
             if journal_path is None:
                 payload = run_scenario_json(spec_json)
             else:
@@ -550,9 +519,17 @@ class QueueBackend(ExecutionBackend):
     thereby the shared cache/manifest) without recomputation.  Cells
     still claimed by a live peer are left to it — like a sharded
     invocation, this one simply reports them as skipped; the peers
-    converge through the shared cache.  A claim whose file has not
-    been touched for ``stale_claim_seconds`` (a claimant machine died
-    mid-cell) can be requeued by renaming it back into ``todo/``.
+    converge through the shared cache.
+
+    Stale-claim requeue ships **armed** (``stale_claim_seconds``
+    defaults to :data:`DEFAULT_STALE_CLAIM_SECONDS`; pass ``None`` to
+    disable): while a cell executes, a :class:`repro.durable.
+    ClaimLease` heartbeat renews the claim file's mtime, and staleness
+    is judged against the shared filesystem's own clock
+    (:func:`repro.durable.fs_now`), never this host's wall time — so
+    multi-host clock skew cannot requeue a live claim, and a
+    hard-killed claimant's cell is recovered automatically instead of
+    stranding until manual intervention.
 
     Cells execute inline (``attempt_job`` in this process), so
     per-invocation parallelism comes from running N invocations, not
@@ -567,7 +544,7 @@ class QueueBackend(ExecutionBackend):
         self,
         work_dir: str,
         *,
-        stale_claim_seconds: "Optional[float]" = None,
+        stale_claim_seconds: "Optional[float]" = DEFAULT_STALE_CLAIM_SECONDS,
     ):
         if not work_dir:
             raise ValueError("queue backend needs a work_dir")
@@ -588,16 +565,21 @@ class QueueBackend(ExecutionBackend):
 
     def _ensure_dirs(self) -> None:
         for kind in self._KINDS:
-            os.makedirs(self._dir(kind), exist_ok=True)
+            directory = self._dir(kind)
+            os.makedirs(directory, exist_ok=True)
+            # Writers killed mid-atomic-write leave .tmp.<pid> files
+            # behind; sweep the dead ones so they cannot accumulate.
+            durable.sweep_orphan_tmps(directory)
 
     # -- done records --------------------------------------------------
     def _read_done(self, digest: str) -> "Optional[dict]":
         try:
-            with open(
-                self._path("done", digest), "r", encoding="utf-8"
-            ) as handle:
-                record = json.load(handle)
+            record = json.loads(
+                durable.read_durable(self._path("done", digest))
+            )
         except (OSError, ValueError):
+            # Missing is normal; torn/corrupt reads as absent here and
+            # is surfaced (and quarantined) by `repro doctor`.
             return None
         return record if isinstance(record, dict) else None
 
@@ -614,11 +596,10 @@ class QueueBackend(ExecutionBackend):
             "started_at": reply[5],
             "finished_at": reply[6],
         }
-        path = self._path("done", digest)
-        temporary = f"{path}.tmp.{os.getpid()}"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True))
-        os.replace(temporary, path)
+        faults.faultpoint("queue.done", name=digest)
+        durable.atomic_write(
+            self._path("done", digest), json.dumps(record, sort_keys=True)
+        )
 
     @staticmethod
     def _done_ok(record: dict) -> bool:
@@ -655,11 +636,14 @@ class QueueBackend(ExecutionBackend):
             "journal_path": job.journal_path,
             "generation": generation,
         }
-        path = self._path("todo", digest)
-        temporary = f"{path}.tmp.{os.getpid()}"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, sort_keys=True))
-        os.replace(temporary, path)
+        # The marker→todo gap: a kill here leaves a dangling seen
+        # marker with no todo file — the crash window doctor's
+        # dangling-seen repair exists for.
+        faults.faultpoint("queue.enqueue.todo", name=digest)
+        durable.atomic_write(
+            self._path("todo", digest),
+            json.dumps(payload, sort_keys=True),
+        )
 
     def _claim(self, digest: str) -> "Optional[int]":
         """Try to claim a todo cell; returns its generation or None."""
@@ -670,9 +654,11 @@ class QueueBackend(ExecutionBackend):
             os.rename(todo, claimed)
         except OSError:
             return None  # a peer won the rename (or it was never there)
+        # A kill here is the zombie-claim scenario: the cell sits in
+        # claimed/ with a dead owner until the lease judges it stale.
+        faults.faultpoint("queue.claim", name=digest)
         try:
-            with open(claimed, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+            payload = json.loads(durable.read_durable(claimed))
             generation = int(payload.get("generation", 0))
         except (OSError, ValueError):
             generation = 0
@@ -700,8 +686,9 @@ class QueueBackend(ExecutionBackend):
         if self.stale_claim_seconds is None:
             return False
         requeued = False
-        # repro: allow(DET002) claim staleness is judged against file mtimes — wall clock by nature, never in a payload
-        now = time.time()
+        # Staleness is judged by the *filesystem's* clock so peers on
+        # hosts with skewed wall clocks agree on which claims died.
+        now = durable.fs_now(self._dir("claimed"))
         for digest in digests:
             claimed = self._path("claimed", digest)
             try:
@@ -773,12 +760,27 @@ class QueueBackend(ExecutionBackend):
                 if generation is None:
                     continue  # a peer won the claim race
                 job = jobs_by_digest[digest]
-                reply = attempt_job(
-                    (
-                        job.name, job.digest, job.spec_json,
-                        max_retries, job.journal_path, retry_backoff,
+                lease = (
+                    durable.ClaimLease(
+                        self._path("claimed", digest),
+                        interval=max(
+                            0.5, self.stale_claim_seconds / 8.0
+                        ),
                     )
+                    if self.stale_claim_seconds is not None
+                    else None
                 )
+                try:
+                    reply = attempt_job(
+                        (
+                            job.name, job.digest, job.spec_json,
+                            max_retries, job.journal_path,
+                            retry_backoff,
+                        )
+                    )
+                finally:
+                    if lease is not None:
+                        lease.stop()
                 self._write_done(digest, generation, reply)
                 self._unclaim(digest)
                 emit(_outcome(job, reply))
@@ -836,11 +838,17 @@ _FACTORIES: "Dict[str, Callable[[], ExecutionBackend]]" = {
 }
 
 
+#: Sentinel distinguishing "caller said nothing" from an explicit
+#: ``stale_claim_seconds=None`` (disable requeue) in make_backend.
+_STALE_UNSET = object()
+
+
 def make_backend(
     backend: "ExecutionBackend | str | None" = None,
     *,
     shard: "Optional[Tuple[int, int]]" = None,
     queue_dir: "Optional[str]" = None,
+    stale_claim_seconds=_STALE_UNSET,
 ) -> ExecutionBackend:
     """Resolve a backend name/instance, optionally wrapped in a shard.
 
@@ -848,7 +856,9 @@ def make_backend(
     wraps whatever was chosen in a :class:`ShardedBackend`, so
     ``--backend threads --shard 1/4`` composes the way you'd hope.
     ``queue`` needs *queue_dir*, the shared work directory the
-    cooperating invocations drain.
+    cooperating invocations drain; ``stale_claim_seconds`` tunes its
+    requeue threshold (``None`` disables requeue; unspecified keeps
+    the armed default).
     """
     if isinstance(backend, ExecutionBackend):
         resolved = backend
@@ -868,7 +878,12 @@ def make_backend(
                 " directory (CLI: --queue-dir, or --cache-dir to"
                 " default it to <cache-dir>/queue)"
             )
-        resolved = QueueBackend(queue_dir)
+        if stale_claim_seconds is _STALE_UNSET:
+            resolved = QueueBackend(queue_dir)
+        else:
+            resolved = QueueBackend(
+                queue_dir, stale_claim_seconds=stale_claim_seconds
+            )
     else:
         try:
             resolved = _FACTORIES[backend]()

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro import durable
 from repro.obs.journal import cell_journal_path, journal_dir
 from repro.scenarios.backends import (
     ExecutionBackend,
@@ -228,9 +229,12 @@ class SweepManifest:
         """Read the manifest; a missing/corrupt file is an empty one."""
         manifest = cls(cache_dir)
         try:
-            with open(manifest.path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
+            data = json.loads(durable.read_durable(manifest.path))
         except (OSError, ValueError):
+            # Missing, torn (TornWriteError is a ValueError) or
+            # unparseable: the per-cell cache files are the source of
+            # truth, so an empty manifest just means resume re-derives
+            # state from them instead of the convenience layer.
             return manifest
         if (
             not isinstance(data, dict)
@@ -289,10 +293,7 @@ class SweepManifest:
             indent=2,
             sort_keys=True,
         )
-        temporary = f"{self.path}.tmp.{os.getpid()}"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-        os.replace(temporary, self.path)
+        durable.atomic_write(self.path, payload)
         self._last_save = time.monotonic()
 
     def maybe_save(self, min_interval: float = 0.5) -> None:
@@ -442,10 +443,10 @@ class SweepRunner:
         if path is None or not os.path.exists(path):
             return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return result_from_json(handle.read())
+            return result_from_json(durable.read_durable(path))
         except (OSError, ValueError, KeyError, TypeError):
-            # Corrupt/truncated/wrong-schema entry: treat as a miss —
+            # Corrupt/truncated/wrong-schema entry (torn frames raise
+            # TornWriteError, a ValueError): treat as a miss —
             # recompute and overwrite, never serve it stale.
             return None
 
@@ -454,10 +455,7 @@ class SweepRunner:
         if path is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
-        temporary = f"{path}.tmp.{os.getpid()}"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-        os.replace(temporary, path)
+        durable.atomic_write(path, payload)
 
     # ------------------------------------------------------------------
     # execution
@@ -478,6 +476,9 @@ class SweepRunner:
 
         manifest: "Optional[SweepManifest]" = None
         if self.cache_dir is not None:
+            # Writers killed mid-atomic-write leave .tmp.<pid> files;
+            # sweep the dead ones so the cache dir cannot silt up.
+            durable.sweep_orphan_tmps(self.cache_dir)
             manifest = SweepManifest.load(self.cache_dir)
             manifest.record(specs, digests)
 

@@ -45,6 +45,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro import faults
 from repro.obs import metrics as obs_metrics
 from repro.scenarios import backends as backends_module
 from repro.scenarios.backends import (
@@ -336,6 +337,9 @@ class PoolScheduler:
             0, self.max_retries - self.charged.get(job.digest, 0)
         )
         journal_path = job.journal_path if journal else None
+        # Coordinator-side injection: a kill here takes down the whole
+        # invocation with the cell still unsubmitted.
+        faults.faultpoint("sched.submit", name=job.name)
         # Late-bound through the module so tests that monkeypatch
         # backends.attempt_job reach every backend, pools included.
         return pool.submit(
@@ -510,6 +514,9 @@ class PoolScheduler:
         return outcome
 
     def _emit_reply(self, job: SweepJob, reply) -> JobOutcome:
+        # A kill here dies with the reply computed but not yet folded
+        # into the cache/manifest — resume must recompute the cell.
+        faults.faultpoint("sched.reply", name=job.name)
         charged = self.charged.get(job.digest, 0)
         if charged:
             # Reaped/crashed attempts were observed here, not in the
@@ -570,6 +577,7 @@ class PoolScheduler:
     @staticmethod
     def _reap_pool(pool) -> None:
         """Kill a process pool's workers; a no-op for thread pools."""
+        faults.faultpoint("sched.reap")
         processes = getattr(pool, "_processes", None)
         if not processes:
             return

@@ -1,0 +1,238 @@
+"""Seeded chaos: sweeps converge byte-identically through faults.
+
+The crash-consistency claim, stated as a test: run a sweep under a
+seeded fault plan (errors, stalls, torn writes, kills), let the
+recovery machinery do its job (retries, re-enqueue, doctor, stale-claim
+requeue), and the final results must be *byte-identical* to a
+fault-free sweep — no lost cells, no double-computed cells, no debris
+the doctor still complains about.  scripts/chaos.sh runs the same loop
+harder (20 seeds, two concurrent invocations); these tests keep CI's
+tier-1 rung fast with a seeded sample of each fault class.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import doctor
+from repro.faults.plan import FaultPlan
+from repro.obs.journal import cell_journal_path, read_journal
+from repro.scenarios import (
+    expand_seeds,
+    get_scenario,
+    make_backend,
+    result_to_json,
+    run_sweep,
+    spec_hash,
+)
+
+CHEAP = "lab-junos"
+SEEDS = (1, 2, 3, 4)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    faults.reset_fault_plan()
+    yield
+    faults.reset_fault_plan()
+
+
+def _specs():
+    return expand_seeds(get_scenario(CHEAP), SEEDS)
+
+
+def _payloads(report):
+    return [result_to_json(result) for result in report.results]
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The fault-free truth every chaos run must converge to."""
+    faults.reset_fault_plan()
+    cache = tmp_path_factory.mktemp("reference-cache")
+    report = run_sweep(_specs(), backend="serial", cache_dir=str(cache))
+    assert report.failures == []
+    return _payloads(report)
+
+
+class TestErrorChaos:
+    @pytest.mark.parametrize("chaos_seed", [11, 23, 37])
+    def test_queue_sweep_converges_after_error_storm(
+        self, tmp_path, reference, chaos_seed
+    ):
+        cache = str(tmp_path / "cache")
+        queue_dir = os.path.join(cache, "queue")
+        plan = FaultPlan.from_dict(
+            {
+                "seed": chaos_seed,
+                "rules": [
+                    {
+                        "site": "sweep.cell",
+                        "action": "error",
+                        "probability": 0.5,
+                    }
+                ],
+            }
+        )
+        faults.set_fault_plan(plan)
+        first = run_sweep(
+            _specs(),
+            backend=make_backend("queue", queue_dir=queue_dir),
+            cache_dir=cache,
+        )
+        # Crash model: the faulty invocation dies; a clean one resumes.
+        faults.set_fault_plan(None)
+        second = run_sweep(
+            _specs(),
+            backend=make_backend("queue", queue_dir=queue_dir),
+            cache_dir=cache,
+        )
+        assert second.failures == []
+        assert _payloads(second) == reference
+        # Survivors of the storm were served as hits, not recomputed.
+        assert second.cache_hits == len(SEEDS) - len(first.failures)
+        repaired = doctor.run_doctor(str(tmp_path), repair=True)
+        assert all(f.repaired for f in repaired.findings)
+        assert doctor.run_doctor(str(tmp_path)).clean
+
+
+class TestTornWriteChaos:
+    def test_torn_cache_and_manifest_recover_via_doctor(
+        self, tmp_path, reference
+    ):
+        cache = str(tmp_path / "cache")
+        victim = spec_hash(_specs()[0])
+        plan = FaultPlan.from_dict(
+            {
+                "rules": [
+                    # Every manifest checkpoint tears; one cache entry
+                    # tears once.  Deterministic coverage of both
+                    # repair paths (quarantine, rebuild).
+                    {
+                        "site": "durable.write",
+                        "match": "*sweep.json*",
+                        "action": "torn",
+                        "keep": 0.6,
+                    },
+                    {
+                        "site": "durable.write",
+                        "match": f"*{victim}*",
+                        "action": "torn",
+                        "keep": 0.4,
+                        "count": 1,
+                    },
+                ]
+            }
+        )
+        faults.set_fault_plan(plan)
+        first = run_sweep(_specs(), backend="serial", cache_dir=cache)
+        assert first.failures == []  # torn writes are silent at write
+        faults.set_fault_plan(None)
+        report = doctor.run_doctor(str(tmp_path), repair=True)
+        kinds = sorted(f.kind for f in report.findings)
+        assert kinds == ["corrupt-cache-entry", "corrupt-manifest"]
+        assert all(f.repaired for f in report.findings)
+        second = run_sweep(_specs(), backend="serial", cache_dir=cache)
+        assert second.failures == []
+        assert _payloads(second) == reference
+        # Only the torn cell recomputed; the rebuilt manifest served
+        # the other three as hits.
+        assert second.cache_hits == len(SEEDS) - 1
+        assert doctor.run_doctor(str(tmp_path)).clean
+
+
+class TestKillChaos:
+    def _sweep_cmd(self, cache, *extra):
+        return [
+            sys.executable, "-m", "repro.cli", "scenario", "sweep",
+            CHEAP, "--seeds", ",".join(str(s) for s in SEEDS),
+            "--cache-dir", cache, *extra,
+        ]
+
+    def _env(self, plan_path=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop(faults.PLAN_ENV, None)
+        if plan_path is not None:
+            env[faults.PLAN_ENV] = plan_path
+        return env
+
+    def test_killed_invocation_resumes_exactly_once(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        plan_path = str(tmp_path / "plan.json")
+        with open(plan_path, "w") as handle:
+            json.dump(
+                {
+                    "seed": 5,
+                    "rules": [
+                        {
+                            "site": "sweep.cell",
+                            "match": f"{CHEAP}@seed3",
+                            "action": "kill",
+                            "count": 1,
+                        }
+                    ],
+                },
+                handle,
+            )
+        queue_args = ("--backend", "queue", "--stale-claim", "2")
+        first = subprocess.run(
+            self._sweep_cmd(cache, *queue_args),
+            env=self._env(plan_path),
+            capture_output=True,
+        )
+        assert first.returncode == faults.DEFAULT_EXIT_CODE
+        # The killed invocation leaves its claim behind; once the
+        # lease goes silent past --stale-claim, a peer requeues it.
+        time.sleep(2.5)
+        # Same armed plan: the fire marker in the shared state dir
+        # makes count=1 hold across invocations.
+        second = subprocess.run(
+            self._sweep_cmd(cache, *queue_args),
+            env=self._env(plan_path),
+            capture_output=True,
+            text=True,
+        )
+        assert second.returncode == 0, second.stderr
+        repair = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "doctor", cache,
+                "--repair",
+            ],
+            env=self._env(),
+            capture_output=True,
+            text=True,
+        )
+        assert repair.returncode == 0, repair.stderr
+        assert doctor.run_doctor(cache).clean
+        # Byte-identical convergence: the post-chaos sweep --json must
+        # match a pristine fault-free run, byte for byte.
+        final = subprocess.run(
+            self._sweep_cmd(cache, "--backend", "serial", "--json"),
+            env=self._env(),
+            capture_output=True,
+        )
+        pristine = subprocess.run(
+            self._sweep_cmd(
+                str(tmp_path / "pristine"), "--backend", "serial",
+                "--json",
+            ),
+            env=self._env(),
+            capture_output=True,
+        )
+        assert final.returncode == pristine.returncode == 0
+        assert final.stdout == pristine.stdout
+        # Exactly-once: every cell's journal shows exactly one finish
+        # — the killed attempt left a start with no finish, and nobody
+        # computed any cell twice.
+        for spec in _specs():
+            events = read_journal(
+                cell_journal_path(cache, spec_hash(spec))
+            )
+            finishes = [e for e in events if e.get("event") == "finish"]
+            assert len(finishes) == 1, (spec.name, events)

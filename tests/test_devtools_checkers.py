@@ -576,6 +576,94 @@ class TestMemo001:
         assert report.clean
 
 
+
+# ----------------------------------------------------------------------
+# DUR001 — durable state must go through atomic_write
+# ----------------------------------------------------------------------
+class TestDur001:
+    def test_flags_write_mode_open_in_durable_module(self):
+        # The PR 10 bug: three unfsynced tmp-rename copies.
+        report = _check(
+            """
+            def store(path, payload):
+                with open(path + ".tmp", "w") as handle:
+                    handle.write(payload)
+            """,
+            "scenarios/runner.py",
+            select=["DUR001"],
+        )
+        assert _codes(report) == ["DUR001"]
+        assert "atomic_write" in report.findings[0].message
+
+    def test_flags_os_replace(self):
+        report = _check(
+            """
+            import os
+
+            def publish(temporary, path):
+                os.replace(temporary, path)
+            """,
+            "scenarios/backends.py",
+            select=["DUR001"],
+        )
+        assert _codes(report) == ["DUR001"]
+
+    def test_flags_append_and_keyword_mode(self):
+        report = _check(
+            """
+            def log(path):
+                open(path, mode="a").write("x")
+            """,
+            "faults/doctor.py",
+            select=["DUR001"],
+        )
+        assert _codes(report) == ["DUR001"]
+
+    def test_passes_atomic_write_and_reads(self):
+        report = _check(
+            """
+            import os
+
+            from repro import durable
+
+            def store(path, payload):
+                durable.atomic_write(path, payload)
+
+            def load(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return handle.read()
+
+            def claim(todo, claimed):
+                os.rename(todo, claimed)
+            """,
+            "scenarios/backends.py",
+            select=["DUR001"],
+        )
+        assert report.clean
+
+    def test_outside_durable_modules_not_flagged(self):
+        report = _check(
+            """
+            def scratch(path):
+                open(path, "w").write("not durable state")
+            """,
+            "obs/journal.py",
+            select=["DUR001"],
+        )
+        assert report.clean
+
+    def test_waiver_suppresses_with_reason(self):
+        report = _check(
+            """
+            def probe(path):
+                open(path, "w").close()  # repro: allow(DUR001) liveness probe, not durable state
+            """,
+            "scenarios/backends.py",
+            select=["DUR001"],
+        )
+        assert report.clean
+
+
 # ----------------------------------------------------------------------
 # SYN001 — unparseable files are loud
 # ----------------------------------------------------------------------

@@ -1,0 +1,185 @@
+"""Crash-consistent durable writes: framing, orphans, leases.
+
+The invariants pinned here are what the chaos harness leans on: a
+reader can never half-parse a torn write (the checksum frame makes
+corruption loud), killed writers leave only recognizably-named
+temporaries (the orphan sweep reclaims them), and claim liveness is a
+filesystem mtime (so the lease survives wall-clock skew).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import durable
+
+
+class TestFraming:
+    def test_round_trip(self):
+        framed = durable.frame('{"x": 1}')
+        assert framed.startswith(durable.FRAME_HEADER)
+        payload, was_framed = durable.unframe(framed)
+        assert payload == '{"x": 1}'
+        assert was_framed
+
+    def test_legacy_unframed_passthrough(self):
+        payload, was_framed = durable.unframe('{"old": true}')
+        assert payload == '{"old": true}'
+        assert not was_framed
+
+    @pytest.mark.parametrize("keep", [0.1, 0.5, 0.9])
+    def test_truncation_is_torn(self, keep):
+        framed = durable.frame(json.dumps({"k": "v" * 50}))
+        cut = framed[: int(len(framed) * keep)]
+        if not cut.startswith(durable.FRAME_HEADER):
+            return  # cut inside the header: reads as legacy, fine
+        with pytest.raises(durable.TornWriteError):
+            durable.unframe(cut)
+
+    def test_truncation_exactly_at_payload_end_is_torn(self):
+        # The nasty case a trailer-only scheme would miss: the file
+        # ends exactly where the payload does, trailer gone — the
+        # header's presence is what makes it detectable.
+        payload = '{"x": 1}'
+        cut = durable.FRAME_HEADER + payload
+        with pytest.raises(durable.TornWriteError):
+            durable.unframe(cut)
+
+    def test_bit_flip_is_torn(self):
+        framed = durable.frame('{"x": 1}')
+        flipped = framed.replace('"x"', '"y"', 1)
+        with pytest.raises(durable.TornWriteError):
+            durable.unframe(flipped)
+
+    def test_payload_containing_trailer_text_round_trips(self):
+        # rpartition takes the *last* trailer — a payload that quotes
+        # the trailer syntax must not confuse the parser.
+        tricky = json.dumps({"doc": "\n#repro:crc32=deadbeef;len=3\n"})
+        payload, was_framed = durable.unframe(durable.frame(tricky))
+        assert payload == tricky and was_framed
+
+
+class TestAtomicWrite:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "cell.json")
+        durable.atomic_write(path, '{"x": 1}')
+        assert durable.read_durable(path) == '{"x": 1}'
+        # On-disk bytes are framed; no temporaries left behind.
+        raw = open(path).read()
+        assert raw.startswith(durable.FRAME_HEADER)
+        assert [
+            name
+            for name in os.listdir(tmp_path)
+            if durable.is_tmp_name(name)
+        ] == []
+
+    def test_overwrite_replaces(self, tmp_path):
+        path = str(tmp_path / "cell.json")
+        durable.atomic_write(path, "one")
+        durable.atomic_write(path, "two")
+        assert durable.read_durable(path) == "two"
+
+    def test_unchecksummed_write_is_legacy_readable(self, tmp_path):
+        path = str(tmp_path / "raw.json")
+        durable.atomic_write(path, '{"x": 1}', checksum=False)
+        assert open(path).read() == '{"x": 1}'
+        assert durable.read_durable(path) == '{"x": 1}'
+
+    def test_read_missing_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            durable.read_durable(str(tmp_path / "absent.json"))
+
+    def test_torn_file_raises_on_read(self, tmp_path):
+        path = str(tmp_path / "torn.json")
+        framed = durable.frame('{"x": 1}')
+        with open(path, "w") as handle:
+            handle.write(framed[: len(framed) // 2])
+        with pytest.raises(durable.TornWriteError):
+            durable.read_durable(path)
+
+
+class TestOrphanSweep:
+    def test_tmp_names_carry_the_writer_pid(self, tmp_path):
+        temporary = durable.tmp_path_for(str(tmp_path / "cell.json"))
+        name = os.path.basename(temporary)
+        assert durable.is_tmp_name(name)
+        assert durable.tmp_owner_pid(name) == os.getpid()
+
+    def test_dead_pid_tmp_is_swept(self, tmp_path):
+        # pid 999999 exceeds kernel.pid_max defaults — dead by
+        # construction, regardless of age.
+        orphan = tmp_path / "cell.json.tmp.999999.0"
+        orphan.write_text("partial")
+        swept = durable.sweep_orphan_tmps(str(tmp_path))
+        assert swept == [str(orphan)]
+        assert not orphan.exists()
+
+    def test_live_recent_tmp_is_kept(self, tmp_path):
+        mine = tmp_path / f"cell.json.tmp.{os.getpid()}.0"
+        mine.write_text("mid-write right now")
+        assert durable.sweep_orphan_tmps(str(tmp_path)) == []
+        assert mine.exists()
+
+    def test_old_tmp_swept_even_with_live_pid(self, tmp_path):
+        stale = tmp_path / f"cell.json.tmp.{os.getpid()}.1"
+        stale.write_text("forgotten")
+        old = os.stat(stale).st_mtime - 3600
+        os.utime(stale, (old, old))
+        swept = durable.sweep_orphan_tmps(
+            str(tmp_path), max_age_seconds=300.0
+        )
+        assert swept == [str(stale)]
+
+    def test_remove_false_only_reports(self, tmp_path):
+        orphan = tmp_path / "cell.json.tmp.999999.0"
+        orphan.write_text("partial")
+        swept = durable.sweep_orphan_tmps(str(tmp_path), remove=False)
+        assert swept == [str(orphan)]
+        assert orphan.exists()
+
+    def test_non_tmp_files_untouched(self, tmp_path):
+        real = tmp_path / "cell.json"
+        real.write_text("data")
+        assert durable.sweep_orphan_tmps(str(tmp_path)) == []
+        assert real.exists()
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert durable.sweep_orphan_tmps(str(tmp_path / "nope")) == []
+
+
+class TestFsNowAndLease:
+    def test_fs_now_tracks_the_filesystem_clock(self, tmp_path):
+        probe_time = durable.fs_now(str(tmp_path))
+        marker = tmp_path / "witness"
+        marker.write_text("")
+        drift = abs(probe_time - os.stat(marker).st_mtime)
+        assert drift < 5.0  # same filesystem, same clock
+
+    def test_fs_now_unwritable_falls_back_to_wall(self, tmp_path):
+        value = durable.fs_now(str(tmp_path / "missing"))
+        assert abs(value - time.time()) < 5.0
+
+    def test_lease_renews_mtime(self, tmp_path):
+        claim = tmp_path / "claim.json"
+        claim.write_text("{}")
+        old = os.stat(claim).st_mtime - 1000
+        os.utime(claim, (old, old))
+        with durable.ClaimLease(str(claim), interval=0.05):
+            time.sleep(0.3)
+        age = durable.fs_now(str(tmp_path)) - os.stat(claim).st_mtime
+        assert age < 10  # heartbeats brought it back to fresh
+
+    def test_lease_stops_quietly_when_claim_vanishes(self, tmp_path):
+        claim = tmp_path / "claim.json"
+        claim.write_text("{}")
+        lease = durable.ClaimLease(str(claim), interval=0.05)
+        os.remove(claim)
+        time.sleep(0.2)  # heartbeat hits the missing file and exits
+        lease.stop()
+        assert not lease._thread.is_alive()
+
+    def test_lease_rejects_bad_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            durable.ClaimLease(str(tmp_path / "c"), interval=0.0)

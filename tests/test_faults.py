@@ -1,0 +1,318 @@
+"""The declarative fault plan: validation, firing, determinism.
+
+Kill faults cannot be exercised in-process (os._exit would take pytest
+with it) — subprocess coverage lives in test_chaos.py; here the plan
+machinery itself is pinned: rule validation, deterministic probability
+draws, exactly-once fire claims (in-memory and state-dir), env arming,
+and the error/stall/torn actions end to end through a real sweep.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    faults.reset_fault_plan()
+    yield
+    faults.reset_fault_plan()
+
+
+class TestPlanValidation:
+    def test_minimal_plan_parses(self):
+        plan = FaultPlan.from_dict(
+            {"rules": [{"site": "sweep.cell", "action": "error"}]}
+        )
+        assert len(plan.rules) == 1
+        assert plan.rules[0].match == "*"
+
+    def test_empty_plan_is_fine(self):
+        assert FaultPlan.from_dict({}).rules == ()
+
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            {"site": "", "action": "error"},
+            {"site": "x", "action": "explode"},
+            {"site": "x", "action": "error", "count": 0},
+            {"site": "x", "action": "error", "probability": 1.5},
+            {"site": "x", "action": "stall", "seconds": -1},
+            {"site": "x", "action": "torn", "keep": 1.0},
+            {"site": "x", "action": "error", "bogus_key": 1},
+        ],
+    )
+    def test_bad_rules_rejected(self, rule):
+        with pytest.raises(faults.FaultPlanError):
+            FaultPlan.from_dict({"rules": [rule]})
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(faults.FaultPlanError):
+            faults.load_plan(str(path))
+
+    def test_load_defaults_state_dir_next_to_the_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"rules": []}))
+        plan = faults.load_plan(str(path))
+        assert plan.state_dir == f"{path}.state"
+
+    def test_matches_site_and_name_patterns(self):
+        rule = FaultRule(
+            site="queue.*", action="error", match="abc*"
+        )
+        assert rule.matches("queue.claim", "abc123")
+        assert not rule.matches("sweep.cell", "abc123")
+        assert not rule.matches("queue.claim", "xyz")
+
+
+class TestFiring:
+    def test_error_action_raises_injected_fault(self):
+        plan = FaultPlan.from_dict(
+            {"rules": [{"site": "s", "action": "error"}]}
+        )
+        with pytest.raises(faults.InjectedFault):
+            plan.on_point("s", "anything")
+
+    def test_stall_action_sleeps(self, monkeypatch):
+        import repro.faults.plan as plan_module
+
+        sleeps = []
+        monkeypatch.setattr(plan_module.time, "sleep", sleeps.append)
+        plan = FaultPlan.from_dict(
+            {"rules": [{"site": "s", "action": "stall", "seconds": 2.5}]}
+        )
+        plan.on_point("s", "")
+        assert sleeps == [2.5]
+
+    def test_count_limits_fires_in_memory(self):
+        plan = FaultPlan.from_dict(
+            {"rules": [{"site": "s", "action": "error", "count": 2}]}
+        )
+        for _ in range(2):
+            with pytest.raises(faults.InjectedFault):
+                plan.on_point("s", "")
+        plan.on_point("s", "")  # third pass: budget spent, no fire
+
+    def test_count_is_exactly_once_across_plans_via_state_dir(
+        self, tmp_path
+    ):
+        # Two plan instances over one state_dir model two processes:
+        # the O_EXCL markers let exactly one of them claim the fire.
+        state = str(tmp_path / "state")
+        make = lambda: FaultPlan.from_dict(
+            {"rules": [{"site": "s", "action": "error", "count": 1}]}
+        )
+        first, second = make(), make()
+        first.state_dir = second.state_dir = state
+        with pytest.raises(faults.InjectedFault):
+            first.on_point("s", "")
+        second.on_point("s", "")  # the twin sees the spent marker
+
+    def test_probability_draw_is_deterministic(self):
+        plan = FaultPlan.from_dict(
+            {
+                "seed": 7,
+                "rules": [
+                    {"site": "s", "action": "error", "probability": 0.5}
+                ],
+            }
+        )
+        rule = plan.rules[0]
+        names = [f"cell-{i}" for i in range(64)]
+        draws = [plan._draw(0, rule, name) for name in names]
+        assert draws == [plan._draw(0, rule, name) for name in names]
+        assert any(draws) and not all(draws)  # p=0.5 actually splits
+
+    def test_different_seeds_draw_differently(self):
+        def draws(seed):
+            plan = FaultPlan.from_dict(
+                {
+                    "seed": seed,
+                    "rules": [
+                        {
+                            "site": "s",
+                            "action": "error",
+                            "probability": 0.5,
+                        }
+                    ],
+                }
+            )
+            return [
+                plan._draw(0, plan.rules[0], f"cell-{i}")
+                for i in range(64)
+            ]
+
+        assert draws(1) != draws(2)
+
+    def test_torn_rules_ignore_faultpoints_but_mangle_bytes(self):
+        plan = FaultPlan.from_dict(
+            {"rules": [{"site": "durable.write", "action": "torn",
+                        "keep": 0.25}]}
+        )
+        plan.on_point("durable.write", "x")  # no raise: torn ≠ point
+        mangled = plan.mangle("durable.write", "x", b"A" * 100)
+        assert mangled == b"A" * 25
+        untouched = plan.mangle("other.site", "x", b"A" * 100)
+        assert untouched == b"A" * 100
+
+
+class TestArming:
+    def test_disabled_faultpoint_is_a_noop(self):
+        faults.set_fault_plan(None)
+        faults.faultpoint("anything", name="x")  # must not raise
+        assert faults.mangle("s", "x", b"data") == b"data"
+        assert not faults.fault_plan_enabled()
+
+    def test_env_arming_reaches_faultpoints(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"rules": [{"site": "unit.test", "action": "error"}]}
+            )
+        )
+        monkeypatch.setenv(faults.PLAN_ENV, str(path))
+        faults.reset_fault_plan()
+        assert faults.fault_plan_enabled()
+        with pytest.raises(faults.InjectedFault):
+            faults.faultpoint("unit.test", name="any")
+
+    def test_set_fault_plan_returns_previous_state(self):
+        plan = FaultPlan.from_dict({"rules": []})
+        assert faults.set_fault_plan(plan) is None  # fixture reset
+        assert faults.set_fault_plan(None) is plan
+
+    def test_reset_reprobes_the_environment(self, monkeypatch, tmp_path):
+        faults.set_fault_plan(None)
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"rules": [{"site": "unit.reprobe", "action": "error"}]}
+            )
+        )
+        monkeypatch.setenv(faults.PLAN_ENV, str(path))
+        faults.faultpoint("unit.reprobe")  # still disarmed: cached off
+        faults.reset_fault_plan()
+        with pytest.raises(faults.InjectedFault):
+            faults.faultpoint("unit.reprobe")
+
+
+class TestSweepIntegration:
+    def test_error_fault_is_absorbed_by_the_retry_budget(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.scenarios import expand_seeds, get_scenario, run_sweep
+
+        specs = expand_seeds(get_scenario("lab-junos"), (1, 2))
+        target = specs[0].name
+        plan = FaultPlan.from_dict(
+            {
+                "rules": [
+                    {
+                        "site": "sweep.cell",
+                        "match": target,
+                        "action": "error",
+                        "count": 1,
+                    }
+                ]
+            }
+        )
+        faults.set_fault_plan(plan)
+        report = run_sweep(
+            specs,
+            backend="serial",
+            cache_dir=str(tmp_path / "cache"),
+            max_retries=1,
+        )
+        assert report.failures == []
+        assert len(report.results) == 2
+        assert report.cell_attempts[
+            [d for d in report.cell_attempts][0]
+        ] in (1, 2)
+        assert sum(report.cell_attempts.values()) == 3  # one retry
+
+    def test_error_fault_exhausting_retries_fails_the_cell(
+        self, tmp_path
+    ):
+        from repro.scenarios import expand_seeds, get_scenario, run_sweep
+
+        specs = expand_seeds(get_scenario("lab-junos"), (1, 2))
+        target = specs[1].name
+        plan = FaultPlan.from_dict(
+            {
+                "rules": [
+                    {
+                        "site": "sweep.cell",
+                        "match": target,
+                        "action": "error",
+                    }
+                ]
+            }
+        )
+        faults.set_fault_plan(plan)
+        report = run_sweep(
+            specs, backend="serial", cache_dir=str(tmp_path / "cache")
+        )
+        assert [failure.name for failure in report.failures] == [target]
+        assert "InjectedFault" in report.failures[0].error
+        assert [result.name for result in report.results] == [
+            specs[0].name
+        ]
+
+    def test_torn_cache_write_is_detected_and_recomputed(
+        self, tmp_path
+    ):
+        from repro.scenarios import (
+            expand_seeds,
+            get_scenario,
+            run_sweep,
+            spec_hash,
+        )
+
+        cache = str(tmp_path / "cache")
+        specs = expand_seeds(get_scenario("lab-junos"), (1,))
+        digest = spec_hash(specs[0])
+        plan = FaultPlan.from_dict(
+            {
+                "rules": [
+                    {
+                        "site": "durable.write",
+                        "match": f"*{digest}*",
+                        "action": "torn",
+                        "keep": 0.5,
+                        "count": 1,
+                    }
+                ]
+            }
+        )
+        faults.set_fault_plan(plan)
+        first = run_sweep(specs, backend="serial", cache_dir=cache)
+        assert first.failures == []  # the torn write is silent...
+        faults.set_fault_plan(None)
+        second = run_sweep(specs, backend="serial", cache_dir=cache)
+        # ...but the read side detects it: served as a miss, not as a
+        # half-parsed result.
+        assert second.cache_hits == 0
+        assert second.cache_misses == 1
+        third = run_sweep(specs, backend="serial", cache_dir=cache)
+        assert third.cache_hits == 1  # the clean rewrite sticks
+
+    def test_metrics_count_fired_faults(self):
+        from repro.obs import metrics
+
+        with metrics.enabled_scope():
+            metrics.reset_metrics()
+            plan = FaultPlan.from_dict(
+                {"rules": [{"site": "s", "action": "error"}]}
+            )
+            with pytest.raises(faults.InjectedFault):
+                plan.on_point("s", "")
+            assert (
+                metrics.registry().counter_value("fault.fired.error")
+                == 1
+            )

@@ -223,8 +223,9 @@ class TestSweepObservability:
         assert code == 0
         capsys.readouterr()
         manifest_path = f"{cache}/sweep.json"
-        with open(manifest_path, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
+        from repro import durable
+
+        data = json.loads(durable.read_durable(manifest_path))
         for cell in data["cells"].values():
             for key in ("attempts", "started_at", "finished_at"):
                 cell.pop(key, None)

@@ -427,10 +427,11 @@ class TestManifestAndResume:
         run_sweep(
             [tiny_spec(1)], workers=1, backend="serial", cache_dir=cache
         )
-        with open(
-            os.path.join(cache, "sweep.json"), encoding="utf-8"
-        ) as handle:
-            payload = json.load(handle)
+        from repro import durable
+
+        payload = json.loads(
+            durable.read_durable(os.path.join(cache, "sweep.json"))
+        )
         assert payload["version"] == "v1"
         (cell,) = payload["cells"].values()
         assert cell["state"] == "done"

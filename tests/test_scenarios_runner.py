@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+from repro import durable
 from repro.scenarios import (
     InternetSpec,
     LabSpec,
@@ -132,8 +133,8 @@ class TestCache:
         again = run_sweep([spec], workers=1, cache_dir=cache)
         assert again.cache_misses == 1
         assert again.results[0].metrics == first.results[0].metrics
-        with open(path, "r", encoding="utf-8") as handle:
-            json.load(handle)  # overwritten with a valid entry
+        # Overwritten with a valid (checksum-framed) entry.
+        json.loads(durable.read_durable(path))
 
     def test_duplicate_specs_simulated_once(self, tmp_path):
         cache = str(tmp_path / "cache")
@@ -160,10 +161,11 @@ class TestCacheRobustness:
         assert report.cache_misses == 1
         assert report.results[0].metrics == reference.metrics
         # The damaged entry was overwritten with a valid one.
-        with open(self._entry_path(cache, spec), encoding="utf-8") as handle:
-            from repro.scenarios import result_from_json
+        from repro.scenarios import result_from_json
 
-            healed = result_from_json(handle.read())
+        healed = result_from_json(
+            durable.read_durable(self._entry_path(cache, spec))
+        )
         assert healed.metrics == reference.metrics
 
     @pytest.fixture()
@@ -217,12 +219,10 @@ class TestCacheRobustness:
             f".{CACHE_VERSION}.json", ".v0-ancient.json"
         )
         os.rename(current, stale)
-        with open(stale, "r+", encoding="utf-8") as handle:
-            payload = json.load(handle)
-            payload["metrics"] = {"update_counts": {"poisoned": True}}
-            handle.seek(0)
+        payload = json.loads(durable.read_durable(stale))
+        payload["metrics"] = {"update_counts": {"poisoned": True}}
+        with open(stale, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
-            handle.truncate()
         report = run_sweep([spec], workers=1, cache_dir=cache)
         assert report.cache_misses == 1
         assert report.results[0].metrics == reference.metrics

@@ -8,9 +8,9 @@ the repaired behavior — siblings survive, the killer is charged
 exactly, timeouts reap, retries back off deterministically — plus the
 ``queue`` backend's exactly-once claims.
 
-Fault injection is environment-driven (``REPRO_FAULT_KILL`` /
-``REPRO_FAULT_STALL`` / ``REPRO_FAULT_ONCE_DIR``) so the faults reach
-real forked pool workers, exactly as ``scripts/ci.sh`` arms them.
+Fault injection is plan-driven: a JSON :class:`repro.faults.FaultPlan`
+armed through ``REPRO_FAULT_PLAN`` so the faults reach real forked
+pool workers, exactly as ``scripts/ci.sh`` arms them.
 """
 
 import json
@@ -19,6 +19,7 @@ import time
 
 import pytest
 
+from repro import faults
 from repro.scenarios import backends as backends_module
 from repro.scenarios import (
     QueueBackend,
@@ -40,6 +41,35 @@ CHEAP = "lab-junos"
 
 def cheap_specs(seeds):
     return expand_seeds(get_scenario(CHEAP), seeds)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    """Env-probed fault state must not leak between tests."""
+    faults.reset_fault_plan()
+    yield
+    faults.reset_fault_plan()
+
+
+def arm_plan(monkeypatch, tmp_path, rules, *, seed=0):
+    """Write a fault plan file and arm it via ``REPRO_FAULT_PLAN``.
+
+    The env route (not ``set_fault_plan``) is deliberate: forked pool
+    workers inherit the environment, so the plan reaches them exactly
+    as it does under ``scripts/ci.sh`` — and the plan-file-adjacent
+    ``state_dir`` gives count-limited rules exactly-once semantics
+    *across* those processes.
+    """
+    path = tmp_path / "fault-plan.json"
+    path.write_text(json.dumps({"seed": seed, "rules": rules}))
+    monkeypatch.setenv(faults.PLAN_ENV, str(path))
+    faults.reset_fault_plan()
+    return str(path)
+
+
+def disarm_plan(monkeypatch):
+    monkeypatch.delenv(faults.PLAN_ENV, raising=False)
+    faults.reset_fault_plan()
 
 
 class TestBackoffDelay:
@@ -128,8 +158,18 @@ class TestDeadWorkerCascade:
     ):
         # The worker picking up seed2 os._exits once; the rebuilt pool
         # completes the whole sweep with zero failures.
-        monkeypatch.setenv("REPRO_FAULT_KILL", f"{CHEAP}@seed2")
-        monkeypatch.setenv("REPRO_FAULT_ONCE_DIR", str(tmp_path))
+        arm_plan(
+            monkeypatch,
+            tmp_path,
+            [
+                {
+                    "site": "sweep.cell",
+                    "match": f"{CHEAP}@seed2",
+                    "action": "kill",
+                    "count": 1,
+                }
+            ],
+        )
         report = run_sweep(
             cheap_specs((1, 2, 3)),
             workers=2,
@@ -142,12 +182,22 @@ class TestDeadWorkerCascade:
     def test_deterministic_crasher_fails_alone(
         self, monkeypatch, tmp_path
     ):
-        # No ONCE_DIR: the cell kills its worker on *every* attempt.
+        # No count: the cell kills its worker on *every* attempt.
         # Rebuild budget spends, isolation attributes the crash, and
         # exactly that cell fails while both siblings complete — the
         # pre-fix behavior was three "worker died" failures.
         specs = cheap_specs((1, 2, 3))
-        monkeypatch.setenv("REPRO_FAULT_KILL", f"{CHEAP}@seed2")
+        arm_plan(
+            monkeypatch,
+            tmp_path,
+            [
+                {
+                    "site": "sweep.cell",
+                    "match": f"{CHEAP}@seed2",
+                    "action": "kill",
+                }
+            ],
+        )
         cache = str(tmp_path / "cache")
         report = run_sweep(
             specs, workers=2, backend="processes", cache_dir=cache
@@ -175,12 +225,22 @@ class TestDeadWorkerCascade:
         # only the failed cell and its attempts keep accumulating.
         specs = cheap_specs((1, 2))
         cache = str(tmp_path / "cache")
-        monkeypatch.setenv("REPRO_FAULT_KILL", f"{CHEAP}@seed1")
+        arm_plan(
+            monkeypatch,
+            tmp_path,
+            [
+                {
+                    "site": "sweep.cell",
+                    "match": f"{CHEAP}@seed1",
+                    "action": "kill",
+                }
+            ],
+        )
         first = run_sweep(
             specs, workers=2, backend="processes", cache_dir=cache
         )
         assert len(first.failures) == 1
-        monkeypatch.delenv("REPRO_FAULT_KILL")
+        disarm_plan(monkeypatch)
         second = resume_sweep(cache, workers=2, backend="processes")
         assert second.failures == []
         assert len(second.results) == 2
@@ -197,7 +257,18 @@ class TestCellTimeout:
     def test_stuck_cell_reaped_and_reported(self, monkeypatch, tmp_path):
         # seed2's worker stalls 60s; with a 1s budget it is reaped and
         # lands as a `timeout:` failure while the siblings finish.
-        monkeypatch.setenv("REPRO_FAULT_STALL", f"{CHEAP}@seed2:60")
+        arm_plan(
+            monkeypatch,
+            tmp_path,
+            [
+                {
+                    "site": "sweep.cell",
+                    "match": f"{CHEAP}@seed2",
+                    "action": "stall",
+                    "seconds": 60.0,
+                }
+            ],
+        )
         started = time.monotonic()
         report = run_sweep(
             cheap_specs((1, 2, 3)),
@@ -221,8 +292,19 @@ class TestCellTimeout:
         # The stall fires once; with one retry the cell completes on
         # its second attempt, and the charged (reaped) first attempt
         # shows up in the attempt count.
-        monkeypatch.setenv("REPRO_FAULT_STALL", f"{CHEAP}@seed2:60")
-        monkeypatch.setenv("REPRO_FAULT_ONCE_DIR", str(tmp_path))
+        arm_plan(
+            monkeypatch,
+            tmp_path,
+            [
+                {
+                    "site": "sweep.cell",
+                    "match": f"{CHEAP}@seed2",
+                    "action": "stall",
+                    "seconds": 60.0,
+                    "count": 1,
+                }
+            ],
+        )
         specs = cheap_specs((1, 2, 3))
         report = run_sweep(
             specs,
@@ -487,8 +569,10 @@ class TestQueueBackend(QueueHarness):
 
     def test_stale_claim_is_requeued(self, monkeypatch, tmp_path):
         # A claimant machine died mid-cell: its claim file sits there
-        # untouched.  With stale_claim_seconds armed, a later
-        # invocation renames it back into todo/ and computes it.
+        # untouched.  With stale-claim requeue armed (the default), a
+        # later invocation renames it back into todo/ and computes it;
+        # only an explicit ``stale_claim_seconds=None`` leaves the
+        # zombie claim to its dead owner.
         import os
 
         executed = self.counting_attempt_job(monkeypatch)
@@ -508,9 +592,9 @@ class TestQueueBackend(QueueHarness):
         old = os.stat(claimed_path).st_mtime - 3600
         os.utime(claimed_path, (old, old))
 
-        # Without the knob the claim is respected: the cell is left to
-        # its (dead) claimant and reported as skipped.
-        cautious = QueueBackend(work_dir)
+        # Requeue disabled: the claim is respected — the cell is left
+        # to its (dead) claimant and reported as skipped.
+        cautious = QueueBackend(work_dir, stale_claim_seconds=None)
         report = run_sweep(
             [spec],
             backend=cautious,
@@ -520,8 +604,9 @@ class TestQueueBackend(QueueHarness):
         assert report.skipped == 1
         assert executed == []
 
-        # With it, the hour-old claim is requeued and computed here.
-        recovering = QueueBackend(work_dir, stale_claim_seconds=60.0)
+        # The default backend requeues the hour-old claim (3600s >
+        # the armed DEFAULT_STALE_CLAIM_SECONDS) and computes it here.
+        recovering = QueueBackend(work_dir)
         report = run_sweep(
             [spec],
             backend=recovering,
@@ -531,8 +616,36 @@ class TestQueueBackend(QueueHarness):
         assert len(report.results) == 1
         assert executed == [digest]
 
+    def test_live_claim_lease_defeats_staleness(self, tmp_path):
+        # The lease heartbeat renews the claim mtime while the cell
+        # runs, so even an absurdly tight staleness threshold cannot
+        # requeue a *live* claimant's cell mid-execution.
+        import os
+
+        from repro import durable
+
+        backend = QueueBackend(work_dir=str(tmp_path / "queue"))
+        backend._ensure_dirs()
+        claimed = backend._path("claimed", "d1")
+        with open(claimed, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        old = os.stat(claimed).st_mtime - 50
+        os.utime(claimed, (old, old))
+        with durable.ClaimLease(claimed, interval=0.05):
+            time.sleep(0.3)
+        age = durable.fs_now(backend._dir("claimed")) - os.stat(
+            claimed
+        ).st_mtime
+        assert age < 10  # renewed from 50s old to fresh
+
     def test_requires_work_dir(self):
         with pytest.raises(ValueError, match="work_dir"):
             QueueBackend("")
         with pytest.raises(ValueError, match="stale_claim_seconds"):
             QueueBackend("/tmp/q", stale_claim_seconds=0.0)
+
+    def test_default_is_armed(self):
+        assert (
+            QueueBackend("/tmp/q").stale_claim_seconds
+            == backends_module.DEFAULT_STALE_CLAIM_SECONDS
+        )
