@@ -40,6 +40,8 @@ from __future__ import annotations
 import errno
 import itertools
 import os
+import re
+import socket
 import time
 import zlib
 from threading import Event, Thread
@@ -65,6 +67,12 @@ DEFAULT_TMP_MAX_AGE_SECONDS = 300.0
 
 #: Per-process counter making temporary names unique across threads.
 _TMP_COUNTER = itertools.count()
+
+#: This host's token in temporary names.  A pid is only meaningful on
+#: the host that spawned it, and the cache/queue dirs are shared, so
+#: orphan sweeps must know *whose* pid a tmp carries before probing
+#: it.  Dots are squashed (they delimit the name's fields).
+_HOST_TOKEN = re.sub(r"[^A-Za-z0-9-]", "-", socket.gethostname()) or "host"
 
 
 class TornWriteError(ValueError):
@@ -127,10 +135,15 @@ def unframe(text: str) -> "Tuple[str, bool]":
 def tmp_path_for(path: str) -> str:
     """A unique same-directory temporary name for *path*.
 
-    The pid is embedded so orphan sweeps can test writer liveness; the
-    counter keeps concurrent threads of one process from colliding.
+    The host and pid are embedded so orphan sweeps can test writer
+    liveness (the pid probe is only valid on the writer's own host);
+    the counter keeps concurrent threads of one process from
+    colliding.
     """
-    return f"{path}{TMP_MARKER}{os.getpid()}.{next(_TMP_COUNTER)}"
+    return (
+        f"{path}{TMP_MARKER}{_HOST_TOKEN}"
+        f".{os.getpid()}.{next(_TMP_COUNTER)}"
+    )
 
 
 def atomic_write(
@@ -140,9 +153,11 @@ def atomic_write(
 
     The payload is checksum-framed (unless ``checksum=False``),
     written to a same-directory temporary, flushed and fsynced, then
-    renamed over *path* with ``os.replace``.  Readers see either the
-    old file or the complete new one; a writer killed at any point
-    leaves at worst an orphan temporary, never a torn *path*.
+    renamed over *path* with ``os.replace`` and sealed by fsyncing the
+    parent directory (so the rename itself survives a power loss, not
+    just a process kill).  Readers see either the old file or the
+    complete new one; a writer killed at any point leaves at worst an
+    orphan temporary, never a torn *path*.
     """
     text = frame(payload) if checksum else payload
     data = text.encode("utf-8")
@@ -157,6 +172,23 @@ def atomic_write(
     # The window a kill turns into an orphaned temporary.
     faults.faultpoint("durable.write.tmp", name=path)
     os.replace(temporary, path)
+    if fsync:
+        _fsync_dir(os.path.dirname(path) or ".")
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory's entry table (best effort — not every
+    filesystem lets a directory fd be fsynced)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def read_durable(path: str) -> str:
@@ -180,14 +212,42 @@ def is_tmp_name(name: str) -> bool:
     return TMP_MARKER in name
 
 
+def _tmp_owner_tokens(name: str) -> "Tuple[Optional[str], Optional[int]]":
+    """``(host, pid)`` embedded in a temporary's name.
+
+    Current names look like ``...tmp.<host>.<pid>.<counter>``; names
+    from before the host token (``...tmp.<pid>.<counter>``) parse with
+    ``host=None``.
+    """
+    _, _, suffix = name.rpartition(TMP_MARKER)
+    tokens = suffix.split(".")
+    if tokens and tokens[0].isdigit():
+        host, pid_text = None, tokens[0]
+    elif len(tokens) >= 2:
+        host, pid_text = tokens[0], tokens[1]
+    else:
+        return None, None
+    try:
+        return host, int(pid_text)
+    except ValueError:
+        return host, None
+
+
 def tmp_owner_pid(name: str) -> "Optional[int]":
     """The writer pid embedded in a temporary's name, if parseable."""
-    _, _, suffix = name.rpartition(TMP_MARKER)
-    pid_text = suffix.split(".", 1)[0]
-    try:
-        return int(pid_text)
-    except ValueError:
-        return None
+    return _tmp_owner_tokens(name)[1]
+
+
+def tmp_writer_is_local(name: str) -> bool:
+    """Whether a temporary's writer ran on *this* host.
+
+    Only then is a pid liveness probe meaningful — the cache/queue
+    dirs are shared across hosts, and a remote writer's pid is either
+    dead here or names an unrelated local process.  Legacy names
+    carry no host token and are assumed local (their old behavior).
+    """
+    host, _ = _tmp_owner_tokens(name)
+    return host is None or host == _HOST_TOKEN
 
 
 def pid_alive(pid: int) -> bool:
@@ -210,10 +270,12 @@ def sweep_orphan_tmps(
 ) -> "List[str]":
     """Find (and by default remove) orphaned write temporaries.
 
-    A temporary is an orphan when its embedded writer pid is dead, or
-    when it is older than *max_age_seconds* (pids recycle, and no
-    healthy atomic write holds a tmp for minutes).  Recent tmps of
-    live pids are left alone — they may be mid-write right now.
+    A temporary is an orphan when its embedded writer pid is dead —
+    probed only for tmps written on *this* host, since a remote
+    writer's pid means nothing here — or when it is older than
+    *max_age_seconds* (pids recycle, and no healthy atomic write
+    holds a tmp for minutes).  Recent tmps of live or foreign-host
+    writers are left alone — they may be mid-write right now.
     Returns the paths judged orphaned.
     """
     try:
@@ -232,7 +294,11 @@ def sweep_orphan_tmps(
             continue  # already gone
         pid = tmp_owner_pid(name)
         stale = age > max_age_seconds
-        dead = pid is not None and not pid_alive(pid)
+        dead = (
+            pid is not None
+            and tmp_writer_is_local(name)
+            and not pid_alive(pid)
+        )
         if not (dead or stale):
             continue
         orphans.append(path)
@@ -280,6 +346,15 @@ class ClaimLease:
         self.path = path
         self.interval = interval
         self._stop = Event()
+        # Start the lease clock *now*: the claim file was renamed into
+        # place with its todo record's old mtime, and the first
+        # heartbeat is a full interval away — without this touch a
+        # just-claimed cell whose todo record sat queued past the
+        # stale threshold would instantly look like a zombie.
+        try:
+            os.utime(self.path, None)
+        except OSError:
+            pass
         self._thread = Thread(target=self._run, daemon=True)
         self._thread.start()
 
@@ -287,8 +362,13 @@ class ClaimLease:
         while not self._stop.wait(self.interval):
             try:
                 os.utime(self.path, None)
-            except OSError:
-                return  # claim released (or requeued) under us
+            except OSError as exc:
+                if exc.errno == errno.ENOENT:
+                    return  # claim released (or requeued) under us
+                # Transient shared-filesystem error (NFS hiccup,
+                # EIO): keep heartbeating — going silent here would
+                # let the claim go cold and be requeued mid-compute.
+                continue
 
     def stop(self) -> None:
         self._stop.set()

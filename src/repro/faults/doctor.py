@@ -213,8 +213,13 @@ class Doctor:
             remove=False,
         )
         for path in orphans:
-            pid = durable.tmp_owner_pid(os.path.basename(path))
-            dead = pid is not None and not durable.pid_alive(pid)
+            name = os.path.basename(path)
+            pid = durable.tmp_owner_pid(name)
+            dead = (
+                pid is not None
+                and durable.tmp_writer_is_local(name)
+                and not durable.pid_alive(pid)
+            )
             finding = self.report.add(
                 "orphan-tmp",
                 path,

@@ -65,6 +65,25 @@ class RunJournal:
         if directory:
             os.makedirs(directory, exist_ok=True)
         self._file = open(self.path, "a", encoding="utf-8")
+        if self._tail_is_torn():
+            # A writer killed mid-append left a partial line; without
+            # this newline our first record would be glued onto it and
+            # both would fail verification — the torn fragment is
+            # already lost, the new event must not be.
+            self._file.write("\n")
+            self._file.flush()
+
+    def _tail_is_torn(self) -> bool:
+        """True when the journal ends mid-line (no trailing newline)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
 
     def write(self, event: str, **fields) -> None:
         """Append one event line (adds ``ts`` and a ``crc`` field).

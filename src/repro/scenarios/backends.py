@@ -654,6 +654,15 @@ class QueueBackend(ExecutionBackend):
             os.rename(todo, claimed)
         except OSError:
             return None  # a peer won the rename (or it was never there)
+        # The rename preserved the todo record's mtime — which may be
+        # arbitrarily old (queued backlog, a previous requeue).  The
+        # lease age must start at *claim* time, or a peer's stale
+        # sweep would requeue this live claim before the heartbeat's
+        # first renewal and double-compute the cell.
+        try:
+            os.utime(claimed, None)
+        except OSError:
+            pass
         # A kill here is the zombie-claim scenario: the cell sits in
         # claimed/ with a dead owner until the lease judges it stale.
         faults.faultpoint("queue.claim", name=digest)

@@ -101,11 +101,17 @@ class TestAtomicWrite:
 
 
 class TestOrphanSweep:
-    def test_tmp_names_carry_the_writer_pid(self, tmp_path):
+    def test_tmp_names_carry_the_writer_host_and_pid(self, tmp_path):
         temporary = durable.tmp_path_for(str(tmp_path / "cell.json"))
         name = os.path.basename(temporary)
         assert durable.is_tmp_name(name)
         assert durable.tmp_owner_pid(name) == os.getpid()
+        assert durable.tmp_writer_is_local(name)
+
+    def test_legacy_hostless_tmp_name_parses_as_local(self):
+        name = "cell.json.tmp.4242.7"
+        assert durable.tmp_owner_pid(name) == 4242
+        assert durable.tmp_writer_is_local(name)
 
     def test_dead_pid_tmp_is_swept(self, tmp_path):
         # pid 999999 exceeds kernel.pid_max defaults — dead by
@@ -131,6 +137,24 @@ class TestOrphanSweep:
             str(tmp_path), max_age_seconds=300.0
         )
         assert swept == [str(stale)]
+
+    def test_foreign_host_tmp_is_never_pid_probed(self, tmp_path):
+        # The queue/cache dirs are shared across hosts; a remote
+        # writer's pid is meaningless here.  Its fresh tmp must
+        # survive a local sweep even when that pid is dead locally —
+        # only age may reclaim it.
+        foreign = tmp_path / "cell.json.tmp.peer-host.999999.0"
+        foreign.write_text("remote writer mid-write")
+        assert not durable.tmp_writer_is_local(foreign.name)
+        assert durable.sweep_orphan_tmps(str(tmp_path)) == []
+        assert foreign.exists()
+        old = os.stat(foreign).st_mtime - 3600
+        os.utime(foreign, (old, old))
+        swept = durable.sweep_orphan_tmps(
+            str(tmp_path), max_age_seconds=300.0
+        )
+        assert swept == [str(foreign)]
+        assert not foreign.exists()
 
     def test_remove_false_only_reports(self, tmp_path):
         orphan = tmp_path / "cell.json.tmp.999999.0"
@@ -170,6 +194,48 @@ class TestFsNowAndLease:
             time.sleep(0.3)
         age = durable.fs_now(str(tmp_path)) - os.stat(claim).st_mtime
         assert age < 10  # heartbeats brought it back to fresh
+
+    def test_lease_starts_the_clock_at_construction(self, tmp_path):
+        # The claim rename preserves the todo record's (possibly
+        # ancient) mtime, and the first heartbeat is an interval away;
+        # the constructor's touch is what keeps a just-claimed cell
+        # from instantly looking stale to a peer's requeue sweep.
+        claim = tmp_path / "claim.json"
+        claim.write_text("{}")
+        old = os.stat(claim).st_mtime - 1000
+        os.utime(claim, (old, old))
+        with durable.ClaimLease(str(claim), interval=60.0):
+            age = durable.fs_now(str(tmp_path)) - os.stat(
+                claim
+            ).st_mtime
+            assert age < 10  # fresh before any heartbeat fired
+
+    def test_lease_survives_transient_utime_errors(
+        self, monkeypatch, tmp_path
+    ):
+        # An NFS hiccup (EIO) must not kill the heartbeat — only a
+        # vanished claim file (ENOENT) means the lease is over.
+        claim = tmp_path / "claim.json"
+        claim.write_text("{}")
+        real_utime = os.utime
+        failures = iter(range(3))
+
+        def flaky(path, *args, **kwargs):
+            if path == str(claim) and next(failures, None) is not None:
+                raise OSError(5, "Input/output error", path)
+            return real_utime(path, *args, **kwargs)
+
+        lease = durable.ClaimLease(str(claim), interval=0.05)
+        monkeypatch.setattr(durable.os, "utime", flaky)
+        time.sleep(0.4)  # several heartbeats hit the flaky window
+        assert lease._thread.is_alive()
+        monkeypatch.undo()
+        old = os.stat(claim).st_mtime - 1000
+        os.utime(claim, (old, old))
+        time.sleep(0.2)
+        lease.stop()
+        age = durable.fs_now(str(tmp_path)) - os.stat(claim).st_mtime
+        assert age < 10  # heartbeats resumed after the hiccup
 
     def test_lease_stops_quietly_when_claim_vanishes(self, tmp_path):
         claim = tmp_path / "claim.json"

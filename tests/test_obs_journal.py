@@ -59,6 +59,23 @@ class TestRunJournal:
         events = read_journal(path)
         assert [event["event"] for event in events] == ["start"]
 
+    def test_post_crash_append_starts_on_fresh_line(self, tmp_path):
+        # A writer killed mid-append leaves a torn partial line; the
+        # next writer must not glue its first record onto it, or both
+        # the fragment *and* that valid event would be discarded.
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("start")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "heartbeat", "obs')  # killed here
+        with RunJournal(path) as journal:
+            journal.write("attempt-start", attempt=2)
+        events = read_journal(path)
+        assert [event["event"] for event in events] == [
+            "start",
+            "attempt-start",
+        ]
+
     def test_reader_skips_blank_and_non_object_lines(self, tmp_path):
         path = str(tmp_path / "run.jsonl")
         with open(path, "w", encoding="utf-8") as handle:

@@ -616,6 +616,39 @@ class TestQueueBackend(QueueHarness):
         assert len(report.results) == 1
         assert executed == [digest]
 
+    def test_claim_starts_the_lease_clock_fresh(self, tmp_path):
+        # os.rename preserves mtime, so a claimed file would otherwise
+        # inherit its todo record's age — and a cell that sat queued
+        # (or was requeued) past the stale threshold would look like a
+        # zombie the instant it was claimed, letting a peer requeue
+        # and double-compute it before the first heartbeat.
+        import os
+
+        from repro import durable
+
+        spec = cheap_specs((1,))[0]
+        digest = spec_hash(spec)
+        backend = QueueBackend(str(tmp_path / "queue"))
+        job = SweepJob(
+            digest=digest, name=spec.name, spec_json='{"name": "x"}'
+        )
+        backend._ensure_dirs()
+        backend._enqueue(job)
+        todo_path = backend._path("todo", digest)
+        old = os.stat(todo_path).st_mtime - 3600
+        os.utime(todo_path, (old, old))  # an hour of queued backlog
+        assert backend._claim(digest) == 0
+        claimed_path = backend._path("claimed", digest)
+        age = durable.fs_now(backend._dir("claimed")) - os.stat(
+            claimed_path
+        ).st_mtime
+        assert age < 10  # lease age starts at claim, not enqueue
+        # A peer's stale sweep therefore leaves the live claim alone.
+        peer = QueueBackend(str(tmp_path / "queue"))
+        assert peer._requeue_stale([digest]) is False
+        assert os.path.exists(claimed_path)
+        assert not os.path.exists(todo_path)
+
     def test_live_claim_lease_defeats_staleness(self, tmp_path):
         # The lease heartbeat renews the claim mtime while the cell
         # runs, so even an absurdly tight staleness threshold cannot
